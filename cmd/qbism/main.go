@@ -1,0 +1,154 @@
+// Command qbism loads a synthetic QBISM database and runs a single
+// end-to-end query — the command-line analog of the DX session in the
+// paper's Figure 5: pick a study, optionally a structure, box, and
+// intensity band; get back a rendered projection and a Table-3-style
+// timing row.
+//
+// Examples:
+//
+//	qbism -study 1 -full
+//	qbism -study 1 -structure ntal1 -bandlo 224 -bandhi 255 -out result.pgm
+//	qbism -study 2 -box 30,30,30,100,100,100
+//	qbism -sql "select numRuns(as.region) from atlasStructure as"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qbism"
+)
+
+func main() {
+	bits := flag.Int("bits", 6, "atlas grid bits per axis (7 = paper scale)")
+	pets := flag.Int("pets", 2, "number of PET studies")
+	mris := flag.Int("mris", 1, "number of MRI studies")
+	seed := flag.Uint64("seed", 1993, "synthesis seed")
+	small := flag.Bool("small", true, "use compact acquisition grids")
+
+	study := flag.Int("study", 1, "study id to query")
+	full := flag.Bool("full", false, "retrieve the entire study (Q1)")
+	structure := flag.String("structure", "", "restrict to an atlas structure (e.g. ntal, ntal1, putamen)")
+	boxSpec := flag.String("box", "", "restrict to a box: x0,y0,z0,x1,y1,z1")
+	bandLo := flag.Int("bandlo", -1, "intensity band lower bound")
+	bandHi := flag.Int("bandhi", -1, "intensity band upper bound")
+	out := flag.String("out", "", "write the rendered MIP projection to this PGM file")
+	sql := flag.String("sql", "", "run this SQL statement instead of a query spec")
+	repl := flag.Bool("repl", false, "read SQL statements from stdin (one per line; EXPLAIN supported)")
+	flag.Parse()
+
+	sys, err := qbism.NewSystem(qbism.Config{
+		Bits: *bits, NumPET: *pets, NumMRI: *mris, Seed: *seed, SmallStudies: *small,
+	})
+	if err != nil {
+		fail("load: %v", err)
+	}
+	fmt.Printf("loaded %d^3 atlas, %d studies, %d structures\n",
+		sys.Side(), len(sys.Studies), len(sys.Atlas.Structures))
+
+	runSQL := func(stmt string) error {
+		res, err := sys.DB.Exec(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return nil
+	}
+	if *sql != "" {
+		if err := runSQL(*sql); err != nil {
+			fail("sql: %v", err)
+		}
+		return
+	}
+	if *repl {
+		fmt.Println("SQL REPL over the loaded catalog; one statement per line, ctrl-D to exit.")
+		fmt.Printf("tables: %s\n", strings.Join(sys.DB.TableNames(), ", "))
+		scanner := bufio.NewScanner(os.Stdin)
+		scanner.Buffer(make([]byte, 1<<20), 1<<20)
+		for {
+			fmt.Print("qbism> ")
+			if !scanner.Scan() {
+				fmt.Println()
+				return
+			}
+			stmt := strings.TrimSpace(scanner.Text())
+			if stmt == "" {
+				continue
+			}
+			if stmt == "quit" || stmt == "exit" {
+				return
+			}
+			if err := runSQL(stmt); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+	}
+
+	spec := qbism.QuerySpec{
+		StudyID:   *study,
+		Atlas:     "Talairach",
+		FullStudy: *full,
+		Structure: *structure,
+	}
+	if *boxSpec != "" {
+		parts := strings.Split(*boxSpec, ",")
+		if len(parts) != 6 {
+			fail("-box needs 6 comma-separated coordinates")
+		}
+		var b [6]uint32
+		for i, p := range parts {
+			v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+			if err != nil {
+				fail("-box coordinate %d: %v", i+1, err)
+			}
+			b[i] = uint32(v)
+		}
+		spec.Box = &b
+	}
+	if *bandLo >= 0 || *bandHi >= 0 {
+		if *bandLo < 0 || *bandHi < 0 {
+			fail("set both -bandlo and -bandhi")
+		}
+		spec.HasBand = true
+		spec.BandLo = *bandLo
+		spec.BandHi = *bandHi
+	}
+
+	res, err := sys.RunQuery(spec)
+	if err != nil {
+		fail("query: %v", err)
+	}
+	qbism.WriteTable3(os.Stdout, []qbism.QueryTiming{res.Timing})
+	st := res.Data.Stats()
+	fmt.Printf("\nresult: %d voxels in %d runs; intensity min/mean/max = %d/%.1f/%d (patient %s, %s)\n",
+		st.N, res.Data.Region.NumRuns(), st.Min, st.Mean, st.Max, res.Meta.Patient, res.Meta.Date)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		if err := res.Image.WritePGM(f); err != nil {
+			fail("write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %dx%d MIP projection to %s\n", res.Image.W, res.Image.H, *out)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Multistudy: queries across a population of studies — the capability
+// the paper argues databases must add to medical visualization. Runs the
+// Table 4 n-way intersection ("the REGION where all PET studies
+// consistently show intensities in a band") under all three REGION
+// encodings, then the voxel-wise average the paper sketches in §6.4.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"qbism"
+)
+
+func main() {
+	fmt.Println("loading synthetic database with 5 PET studies...")
+	sys, err := qbism.NewSystem(qbism.Config{
+		Bits:               6,
+		NumPET:             5,
+		NumMRI:             0,
+		Seed:               7,
+		SmallStudies:       true,
+		ExtraBandEncodings: true, // store z-run and octant band encodings too
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Table 4's query: the consistent-activity REGION across all 5
+	// studies, once per encoding method. Hilbert runs should read the
+	// fewest pages.
+	lo, hi := 128, 159
+	rows, err := sys.Table4(lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qbism.WriteTable4(os.Stdout, rows, lo, hi)
+
+	// §6.4's envisioned aggregate: "display the voxel-wise average
+	// intensity inside ntal for these PET studies" — the database reads
+	// only the relevant pages of each study.
+	st, err := sys.Atlas.ByName("ntal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var vols []*qbism.Volume
+	for _, id := range sys.PETStudyIDs() {
+		res := sys.DB.MustExec(fmt.Sprintf(
+			`select wv.data from warpedVolume wv where wv.studyId = %d`, id))
+		data, err := sys.LFM.Read(res.Rows[0][0].L)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := qbism.NewVolume(sys.Curve, data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vols = append(vols, v)
+	}
+	mean, err := qbism.VoxelwiseMean(st.Region, vols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms := mean.Stats()
+	fmt.Printf("\nvoxel-wise average inside ntal over %d studies: %d voxels, mean intensity %.1f\n",
+		len(vols), ms.N, ms.Mean)
+
+	// The same consistency question through the CONTAINS operator: does
+	// the consistent region stay inside the brain?
+	consistent, err := qbism.DecodeRegion(mustEncode(sys, rows))
+	if err != nil {
+		log.Fatal(err)
+	}
+	brain := sys.Atlas.Brain().Region
+	inside, err := qbism.Contains(brain, consistent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consistent region inside the brain: %v (%d voxels)\n", inside, consistent.NumVoxels())
+}
+
+// mustEncode re-runs the h-naive intersection to obtain the result
+// region bytes (Table4 reports only counts).
+func mustEncode(sys *qbism.System, rows []qbism.Table4Row) []byte {
+	var regions []*qbism.Region
+	for _, id := range sys.PETStudyIDs() {
+		res := sys.DB.MustExec(fmt.Sprintf(
+			`select ib.region from intensityBand ib
+			 where ib.studyId = %d and ib.lo = 128 and ib.hi = 159 and ib.encoding = '%s'`,
+			id, qbism.BandEncodingHilbertNaive))
+		data, err := sys.LFM.Read(res.Rows[0][0].L)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := qbism.DecodeRegion(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	out, err := qbism.IntersectN(regions...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if uint64(rows[0].ResultVox) != out.NumVoxels() {
+		log.Fatalf("direct intersection (%d voxels) disagrees with Table 4 (%d)",
+			out.NumVoxels(), rows[0].ResultVox)
+	}
+	enc, err := qbism.EncodeRegion(qbism.EncodingNaive, out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return enc
+}

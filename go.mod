@@ -1,0 +1,3 @@
+module qbism
+
+go 1.22

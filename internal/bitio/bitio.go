@@ -1,0 +1,133 @@
+// Package bitio provides MSB-first bit-level writing and reading over
+// byte slices. The REGION codecs (Elias γ/δ, Golomb) are bit codes, so
+// they need sub-byte I/O; the Long Field Manager then stores the packed
+// bytes.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the input.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of input")
+
+// Writer accumulates bits most-significant-first into an internal buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nBit uint8 // bits already used in the final byte, 0..7
+}
+
+// WriteBit appends a single bit (any nonzero bit value writes 1).
+func (w *Writer) WriteBit(bit uint) {
+	if w.nBit == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if bit != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (7 - w.nBit)
+	}
+	w.nBit = (w.nBit + 1) & 7
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits with n=%d", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> i & 1))
+	}
+}
+
+// WriteUnary appends n in unary: n zero bits followed by a one bit.
+func (w *Writer) WriteUnary(n int) {
+	for i := 0; i < n; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBit(1)
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int {
+	if w.nBit == 0 {
+		return len(w.buf) * 8
+	}
+	return (len(w.buf)-1)*8 + int(w.nBit)
+}
+
+// Bytes returns the packed bytes; unused trailing bits are zero. The
+// returned slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset truncates the writer to empty, retaining the buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nBit = 0
+}
+
+// Reader consumes bits most-significant-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // absolute bit position
+	end int // total bits available
+}
+
+// NewReader returns a Reader over buf. If nbits >= 0 it limits the
+// stream to the first nbits bits; pass -1 to use all of buf.
+func NewReader(buf []byte, nbits int) *Reader {
+	if nbits < 0 || nbits > len(buf)*8 {
+		nbits = len(buf) * 8
+	}
+	return &Reader{buf: buf, end: nbits}
+}
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= r.end {
+		return 0, ErrUnexpectedEOF
+	}
+	b := r.buf[r.pos>>3] >> (7 - uint(r.pos&7)) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBits returns the next n bits as the low bits of a uint64,
+// most significant first. n must be in [0, 64].
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitio: ReadBits with n=%d", n))
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary-coded count: the number of zero bits before
+// the next one bit.
+func (r *Reader) ReadUnary() (int, error) {
+	n := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			return n, nil
+		}
+		n++
+		if n > r.end {
+			return 0, ErrUnexpectedEOF
+		}
+	}
+}
+
+// Remaining reports how many bits are left to read.
+func (r *Reader) Remaining() int { return r.end - r.pos }

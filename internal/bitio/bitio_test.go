@@ -1,0 +1,131 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xff, 8)
+	w.WriteBits(0, 5)
+	if w.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", w.Len())
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Errorf("first field = %b", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xff {
+		t.Errorf("second field = %x", v)
+	}
+	if v, _ := r.ReadBits(5); v != 0 {
+		t.Errorf("third field = %d", v)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Errorf("read past end: err = %v", err)
+	}
+}
+
+func TestUnary(t *testing.T) {
+	var w Writer
+	for n := 0; n < 20; n++ {
+		w.WriteUnary(n)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for n := 0; n < 20; n++ {
+		got, err := r.ReadUnary()
+		if err != nil || got != n {
+			t.Fatalf("ReadUnary = %d,%v want %d", got, err, n)
+		}
+	}
+}
+
+func TestUnaryTruncated(t *testing.T) {
+	var w Writer
+	w.WriteBits(0, 8) // eight zero bits, no terminating 1
+	r := NewReader(w.Bytes(), w.Len())
+	if _, err := r.ReadUnary(); err != ErrUnexpectedEOF {
+		t.Errorf("truncated unary: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestBitLimit(t *testing.T) {
+	r := NewReader([]byte{0xff}, 3)
+	if r.Remaining() != 3 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	if v, err := r.ReadBits(3); err != nil || v != 0b111 {
+		t.Fatalf("ReadBits = %d,%v", v, err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Errorf("limited reader should hit EOF, got %v", err)
+	}
+	// Negative limit means "all bits".
+	r2 := NewReader([]byte{0xff}, -1)
+	if r2.Remaining() != 8 {
+		t.Errorf("Remaining = %d, want 8", r2.Remaining())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xdead, 16)
+	w.Reset()
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("Reset did not clear writer")
+	}
+	w.WriteBit(1)
+	if w.Bytes()[0] != 0x80 {
+		t.Errorf("after reset write: %x", w.Bytes())
+	}
+}
+
+func TestMSBFirstLayout(t *testing.T) {
+	var w Writer
+	w.WriteBit(1)
+	w.WriteBit(0)
+	w.WriteBit(1)
+	if got := w.Bytes()[0]; got != 0b1010_0000 {
+		t.Errorf("byte = %08b, want 10100000", got)
+	}
+}
+
+// TestRoundTripQuick writes random-width fields and reads them back.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		vals := make([]uint64, count)
+		widths := make([]int, count)
+		var w Writer
+		for i := range vals {
+			widths[i] = rng.Intn(64) + 1
+			vals[i] = rng.Uint64() & (^uint64(0) >> (64 - widths[i]))
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i := range vals {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBitsPanicsOnBadWidth(t *testing.T) {
+	var w Writer
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=65")
+		}
+	}()
+	w.WriteBits(0, 65)
+}

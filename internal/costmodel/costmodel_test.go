@@ -1,0 +1,68 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQ1Calibration(t *testing.T) {
+	// The model must land near Table 3's Q1 row: 513 pages ≈ 3.4 s of
+	// Starburst real time, and 2 MB ≈ 2103 messages ≈ 24.8 s.
+	m := Default1993()
+	sb := m.StarburstTime(180*time.Millisecond, 513)
+	if sb < 3*time.Second || sb > 4*time.Second {
+		t.Errorf("Q1 starburst sim = %v, want ≈3.4s", sb)
+	}
+	msgs := m.Messages(2097152)
+	if msgs < 1900 || msgs > 2300 {
+		t.Errorf("Q1 messages = %d, want ≈2103", msgs)
+	}
+	net := m.NetworkTime(msgs)
+	if net < 20*time.Second || net > 30*time.Second {
+		t.Errorf("Q1 network sim = %v, want ≈24.8s", net)
+	}
+	imp := m.ImportTime(2097152, 1)
+	if imp < 9*time.Second || imp > 12*time.Second {
+		t.Errorf("Q1 import sim = %v, want ≈10.7s", imp)
+	}
+	rend := m.RenderTime(2097152)
+	if rend < 20*time.Second || rend > 30*time.Second {
+		t.Errorf("Q1 render sim = %v, want ≈27s", rend)
+	}
+}
+
+func TestQ3Calibration(t *testing.T) {
+	// Q3 (ntal): 29 pages, 16016 voxels, 1088 runs, 22 messages.
+	m := Default1993()
+	sb := m.StarburstTime(140*time.Millisecond, 29)
+	if sb > 1200*time.Millisecond {
+		t.Errorf("Q3 starburst sim = %v, want well under Q1's 3.4s", sb)
+	}
+	imp := m.ImportTime(16016, 1088)
+	if imp > time.Second {
+		t.Errorf("Q3 import sim = %v, want ≈0.2s", imp)
+	}
+}
+
+func TestMessagesSmallPayloads(t *testing.T) {
+	m := Default1993()
+	if got := m.Messages(0); got != uint64(m.MessageOverheadMsgs) {
+		t.Errorf("empty payload messages = %d", got)
+	}
+	if got := m.Messages(1); got != uint64(m.MessageOverheadMsgs)+1 {
+		t.Errorf("1-byte payload messages = %d", got)
+	}
+	// Degenerate model with no payload sizing.
+	m.MessageBytes = 0
+	if got := m.Messages(100); got != uint64(m.MessageOverheadMsgs) {
+		t.Errorf("zero MessageBytes messages = %d", got)
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	// The whole point of the model: fewer pages -> less time, strictly.
+	m := Default1993()
+	if m.DiskTime(446) >= m.DiskTime(593) || m.DiskTime(593) >= m.DiskTime(664) {
+		t.Error("disk time not monotone in pages (Table 4 ordering would break)")
+	}
+}

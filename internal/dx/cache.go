@@ -1,0 +1,90 @@
+package dx
+
+import "sync"
+
+// Cache is the DX result cache: "Because of the caching mechanism built
+// into DX, the user can quickly review and manipulate the results of
+// several recently issued queries without necessitating a database
+// reaccess." The paper flushes it before each measured run; Flush does
+// that here.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*Field
+	order   []string // LRU order, least recent first
+
+	hits, misses uint64
+}
+
+// NewCache creates a cache holding at most max fields (max <= 0 means 8,
+// a plausible "several recently issued queries").
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 8
+	}
+	return &Cache{max: max, entries: make(map[string]*Field)}
+}
+
+// Get returns the cached field for a query key.
+func (c *Cache) Get(key string) (*Field, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.entries[key]
+	if ok {
+		c.touch(key)
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return f, ok
+}
+
+// Put stores a field, evicting the least recently used entry if full.
+func (c *Cache) Put(key string, f *Field) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; exists {
+		c.entries[key] = f
+		c.touch(key)
+		return
+	}
+	if len(c.entries) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = f
+	c.order = append(c.order, key)
+}
+
+// touch moves key to the most-recent end. Caller holds the lock.
+func (c *Cache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// Flush empties the cache (done before each measured run in Section 6.1).
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*Field)
+	c.order = nil
+}
+
+// Len returns the number of cached fields.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

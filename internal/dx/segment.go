@@ -1,0 +1,125 @@
+package dx
+
+import "fmt"
+
+// Histogram segmentation — the scenario step "the intensity range may be
+// histogram segmented and other regions in this PET study identified in
+// the same range" (Section 2.1). OtsuThreshold picks the threshold
+// maximizing between-class variance; SegmentBands turns a histogram into
+// query-ready intensity intervals.
+
+// OtsuThreshold returns the threshold t that best separates a bimodal
+// intensity histogram into background [0,t] and foreground [t+1,255],
+// by maximizing the between-class variance. An error is returned when
+// the histogram is empty or constant.
+func OtsuThreshold(hist [256]uint64) (uint8, error) {
+	var total, weightedTotal uint64
+	for v, c := range hist {
+		total += c
+		weightedTotal += uint64(v) * c
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("dx: empty histogram")
+	}
+	var bestT int = -1
+	var bestVar float64
+	var wBack, sumBack uint64
+	for t := 0; t < 255; t++ {
+		wBack += hist[t]
+		if wBack == 0 {
+			continue
+		}
+		wFore := total - wBack
+		if wFore == 0 {
+			break
+		}
+		sumBack += uint64(t) * hist[t]
+		meanBack := float64(sumBack) / float64(wBack)
+		meanFore := float64(weightedTotal-sumBack) / float64(wFore)
+		d := meanBack - meanFore
+		between := float64(wBack) * float64(wFore) * d * d
+		if between > bestVar {
+			bestVar = between
+			bestT = t
+		}
+	}
+	if bestT < 0 {
+		return 0, fmt.Errorf("dx: constant histogram cannot be segmented")
+	}
+	return uint8(bestT), nil
+}
+
+// Segment is one histogram-derived intensity interval.
+type Segment struct {
+	Lo, Hi uint8
+	Count  uint64 // voxels in the interval
+}
+
+// SegmentBands splits the histogram at successive Otsu thresholds into
+// up to n intervals (n >= 2), each non-empty, covering 0-255 in order.
+// This is how a user would derive query bands from a study instead of
+// the uniform 32-wide defaults.
+func SegmentBands(hist [256]uint64, n int) ([]Segment, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dx: need at least 2 segments, got %d", n)
+	}
+	segments := []Segment{{Lo: 0, Hi: 255}}
+	for len(segments) < n {
+		// Split the most populous splittable segment.
+		bestIdx := -1
+		var bestCount uint64
+		for i, seg := range segments {
+			c := countRange(hist, seg.Lo, seg.Hi)
+			if seg.Hi > seg.Lo && c > bestCount {
+				if _, err := otsuInRange(hist, seg.Lo, seg.Hi); err == nil {
+					bestIdx = i
+					bestCount = c
+				}
+			}
+		}
+		if bestIdx < 0 {
+			break // nothing splittable left
+		}
+		seg := segments[bestIdx]
+		t, err := otsuInRange(hist, seg.Lo, seg.Hi)
+		if err != nil {
+			break
+		}
+		left := Segment{Lo: seg.Lo, Hi: t}
+		right := Segment{Lo: t + 1, Hi: seg.Hi}
+		segments = append(segments[:bestIdx],
+			append([]Segment{left, right}, segments[bestIdx+1:]...)...)
+	}
+	for i := range segments {
+		segments[i].Count = countRange(hist, segments[i].Lo, segments[i].Hi)
+	}
+	return segments, nil
+}
+
+func countRange(hist [256]uint64, lo, hi uint8) uint64 {
+	var c uint64
+	for v := int(lo); v <= int(hi); v++ {
+		c += hist[v]
+	}
+	return c
+}
+
+// otsuInRange applies Otsu within [lo, hi], returning a threshold t with
+// lo <= t < hi such that both halves are non-empty.
+func otsuInRange(hist [256]uint64, lo, hi uint8) (uint8, error) {
+	if hi <= lo {
+		return 0, fmt.Errorf("dx: degenerate range [%d,%d]", lo, hi)
+	}
+	var sub [256]uint64
+	for v := int(lo); v <= int(hi); v++ {
+		sub[v-int(lo)] = hist[v]
+	}
+	t, err := OtsuThreshold(sub)
+	if err != nil {
+		return 0, err
+	}
+	if int(lo)+int(t) >= int(hi) {
+		return 0, fmt.Errorf("dx: split collapses range")
+	}
+	return lo + t, nil
+}

@@ -1,0 +1,149 @@
+package dx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bimodalHist builds a histogram with two Gaussian-ish clusters.
+func bimodalHist(rng *rand.Rand, lo, hi uint8, n int) [256]uint64 {
+	var h [256]uint64
+	for i := 0; i < n; i++ {
+		c := int(lo)
+		if i%2 == 1 {
+			c = int(hi)
+		}
+		v := c + rng.Intn(21) - 10
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		h[v]++
+	}
+	return h
+}
+
+func TestOtsuSeparatesBimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := bimodalHist(rng, 60, 190, 10000)
+	thr, err := OtsuThreshold(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any threshold in the inter-mode valley is optimal (the variance is
+	// constant across empty bins and argmax takes the first), so accept
+	// the full separating range: above the low mode, below the high one.
+	if thr < 70 || thr >= 180 {
+		t.Errorf("threshold = %d, want a separator in [70,180)", thr)
+	}
+}
+
+func TestOtsuErrors(t *testing.T) {
+	var empty [256]uint64
+	if _, err := OtsuThreshold(empty); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	var constant [256]uint64
+	constant[42] = 1000
+	if _, err := OtsuThreshold(constant); err == nil {
+		t.Error("constant histogram accepted")
+	}
+}
+
+func TestOtsuTwoSpikes(t *testing.T) {
+	var h [256]uint64
+	h[10] = 500
+	h[200] = 500
+	thr, err := OtsuThreshold(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr < 10 || thr >= 200 {
+		t.Errorf("threshold = %d, want in [10,200)", thr)
+	}
+}
+
+func TestSegmentBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Trimodal data.
+	var h [256]uint64
+	for i := 0; i < 3000; i++ {
+		for _, c := range []int{30, 120, 220} {
+			v := c + rng.Intn(15) - 7
+			h[v]++
+		}
+	}
+	segs, err := SegmentBands(h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("segments = %v", segs)
+	}
+	// Cover 0-255 contiguously and in order.
+	if segs[0].Lo != 0 || segs[len(segs)-1].Hi != 255 {
+		t.Errorf("segments do not span: %v", segs)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Lo != segs[i-1].Hi+1 {
+			t.Errorf("gap between segments %d and %d: %v", i-1, i, segs)
+		}
+	}
+	// Every mode lands in a distinct segment.
+	segOf := func(v uint8) int {
+		for i, s := range segs {
+			if v >= s.Lo && v <= s.Hi {
+				return i
+			}
+		}
+		return -1
+	}
+	if segOf(30) == segOf(120) || segOf(120) == segOf(220) {
+		t.Errorf("modes share segments: %v", segs)
+	}
+	// Counts populated.
+	var total uint64
+	for _, s := range segs {
+		total += s.Count
+	}
+	if total != 9000 {
+		t.Errorf("segment counts sum to %d", total)
+	}
+}
+
+func TestSegmentBandsErrors(t *testing.T) {
+	var h [256]uint64
+	h[5] = 10
+	if _, err := SegmentBands(h, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	// Constant histogram: returns the single unsplittable segment.
+	segs, err := SegmentBands(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Errorf("segments = %v, want the whole range unsplit", segs)
+	}
+}
+
+func TestSegmentThenQueryBands(t *testing.T) {
+	// End-to-end with a field: segment its histogram, then the derived
+	// intervals partition the field's voxels.
+	d := sphereData(t, 180)
+	f, _, _ := ImportVolume(d)
+	h := f.Histogram()
+	segs, err := SegmentBands(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, s := range segs {
+		total += s.Count
+	}
+	if total != d.NumVoxels() {
+		t.Errorf("segments cover %d of %d voxels", total, d.NumVoxels())
+	}
+}

@@ -1,0 +1,312 @@
+package lfm
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(100, 3000); err == nil {
+		t.Error("non-power-of-two page size accepted")
+	}
+	if _, err := New(10, 4096); err == nil {
+		t.Error("capacity < page accepted")
+	}
+	m, err := New(10*4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PageSize() != DefaultPageSize {
+		t.Errorf("page size = %d", m.PageSize())
+	}
+	// 10 pages rounds up to 16.
+	if m.Capacity() != 16*4096 {
+		t.Errorf("capacity = %d, want %d", m.Capacity(), 16*4096)
+	}
+}
+
+func TestAllocateReadFree(t *testing.T) {
+	m, _ := New(1<<20, 4096)
+	data := []byte("hello long field")
+	h, err := m.Allocate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(h)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	if n, _ := m.Size(h); n != uint64(len(data)) {
+		t.Errorf("Size = %d", n)
+	}
+	if err := m.Free(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(h); !errors.Is(err, ErrUnknownHandle) {
+		t.Errorf("read after free: %v", err)
+	}
+	if err := m.Free(h); !errors.Is(err, ErrUnknownHandle) {
+		t.Errorf("double free: %v", err)
+	}
+	if m.FreePages() != m.Capacity()/4096 {
+		t.Errorf("pages leaked: %d free of %d", m.FreePages(), m.Capacity()/4096)
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	m, _ := New(1<<20, 4096)
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	h, _ := m.Allocate(data)
+	got, err := m.ReadAt(h, 5000, 100)
+	if err != nil || !bytes.Equal(got, data[5000:5100]) {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if _, err := m.ReadAt(h, 9990, 20); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range read: %v", err)
+	}
+	if _, err := m.ReadAt(Handle(999), 0, 1); !errors.Is(err, ErrUnknownHandle) {
+		t.Errorf("unknown handle: %v", err)
+	}
+	// Zero-length read at field end is legal and touches no pages.
+	before := m.Stats()
+	if _, err := m.ReadAt(h, 10000, 0); err != nil {
+		t.Errorf("zero read at end: %v", err)
+	}
+	if d := m.Stats().Sub(before); d.PageReads != 0 {
+		t.Errorf("zero read cost %d pages", d.PageReads)
+	}
+}
+
+func TestPageAccounting(t *testing.T) {
+	m, _ := New(1<<22, 4096)
+	data := make([]byte, 3*4096)
+	h, _ := m.Allocate(data)
+	if w := m.Stats().PageWrites; w != 3 {
+		t.Errorf("allocate wrote %d pages, want 3", w)
+	}
+	m.ResetStats()
+	// A 1-byte read costs 1 page.
+	if _, err := m.ReadAt(h, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Stats().PageReads; r != 1 {
+		t.Errorf("1-byte read cost %d pages", r)
+	}
+	m.ResetStats()
+	// A read straddling a page boundary costs 2 pages.
+	if _, err := m.ReadAt(h, 4090, 10); err != nil {
+		t.Fatal(err)
+	}
+	if r := m.Stats().PageReads; r != 2 {
+		t.Errorf("straddling read cost %d pages, want 2", r)
+	}
+	m.ResetStats()
+	// Full read costs 3 pages; no buffering means a repeat costs again.
+	m.Read(h)
+	m.Read(h)
+	if r := m.Stats().PageReads; r != 6 {
+		t.Errorf("two full reads cost %d pages, want 6", r)
+	}
+	s := m.Stats()
+	if s.BytesRead != 2*3*4096 || s.Reads != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{PageReads: 10, PageWrites: 5, BytesRead: 100, BytesWritten: 50, Reads: 3, Writes: 2}
+	b := Stats{PageReads: 4, PageWrites: 1, BytesRead: 40, BytesWritten: 10, Reads: 1, Writes: 1}
+	d := a.Sub(b)
+	if d.PageReads != 6 || d.PageWrites != 4 || d.BytesRead != 60 || d.BytesWritten != 40 || d.Reads != 2 || d.Writes != 1 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	m, _ := New(1<<20, 4096)
+	h, _ := m.Allocate([]byte("short"))
+	// In-place overwrite.
+	if err := m.Overwrite(h, []byte("longer but fits page")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Read(h)
+	if string(got) != "longer but fits page" {
+		t.Errorf("read = %q", got)
+	}
+	// Growing overwrite forces reallocation.
+	big := make([]byte, 3*4096)
+	big[0] = 7
+	if err := m.Overwrite(h, big); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = m.Read(h)
+	if !bytes.Equal(got, big) {
+		t.Error("grown field corrupted")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := m.Overwrite(Handle(12345), nil); !errors.Is(err, ErrUnknownHandle) {
+		t.Errorf("overwrite unknown handle: %v", err)
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	m, _ := New(4*4096, 4096)
+	if _, err := m.Allocate(make([]byte, 5*4096)); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("oversized alloc: %v", err)
+	}
+	h1, err := m.Allocate(make([]byte, 4*4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Allocate([]byte{1}); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("alloc on full device: %v", err)
+	}
+	m.Free(h1)
+	if _, err := m.Allocate([]byte{1}); err != nil {
+		t.Errorf("alloc after free: %v", err)
+	}
+}
+
+func TestBuddyMerging(t *testing.T) {
+	m, _ := New(8*4096, 4096)
+	var hs []Handle
+	for i := 0; i < 8; i++ {
+		h, err := m.Allocate(make([]byte, 4096))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hs {
+		m.Free(h)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// After freeing everything the buddies must have merged back into
+	// one max-order block so a full-device allocation succeeds.
+	if _, err := m.Allocate(make([]byte, 8*4096)); err != nil {
+		t.Errorf("full-device alloc after merge: %v", err)
+	}
+}
+
+func TestReadFaultInjection(t *testing.T) {
+	m, _ := New(1<<20, 4096)
+	data := make([]byte, 2*4096)
+	h, _ := m.Allocate(data)
+	boom := errors.New("media error")
+	m.ReadFault = func(page uint64) error {
+		if page == 1 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := m.Read(h); !errors.Is(err, boom) {
+		t.Errorf("fault not surfaced: %v", err)
+	}
+	// Reads not touching the bad page still work.
+	if _, err := m.ReadAt(h, 0, 10); err != nil {
+		t.Errorf("good page read failed: %v", err)
+	}
+	m.ReadFault = nil
+	if _, err := m.Read(h); err != nil {
+		t.Errorf("read after clearing fault: %v", err)
+	}
+}
+
+// TestAllocatorInvariantsQuick hammers the allocator with random
+// allocate/free/overwrite sequences and checks invariants and contents.
+func TestAllocatorInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := New(1<<18, 4096) // 64 pages
+		if err != nil {
+			return false
+		}
+		live := make(map[Handle][]byte)
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(3) {
+			case 0: // allocate
+				n := rng.Intn(5 * 4096)
+				data := make([]byte, n)
+				rng.Read(data)
+				h, err := m.Allocate(data)
+				if err == nil {
+					live[h] = data
+				} else if !errors.Is(err, ErrNoSpace) {
+					return false
+				}
+			case 1: // free
+				for h := range live {
+					if err := m.Free(h); err != nil {
+						return false
+					}
+					delete(live, h)
+					break
+				}
+			case 2: // overwrite
+				for h := range live {
+					n := rng.Intn(5 * 4096)
+					data := make([]byte, n)
+					rng.Read(data)
+					if err := m.Overwrite(h, data); err == nil {
+						live[h] = data
+					} else if !errors.Is(err, ErrNoSpace) {
+						return false
+					}
+					break
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		// All live fields must read back intact.
+		for h, want := range live {
+			got, err := m.Read(h)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumFields(t *testing.T) {
+	m, _ := New(1<<18, 4096)
+	h, _ := m.Allocate([]byte{1})
+	if m.NumFields() != 1 {
+		t.Errorf("NumFields = %d", m.NumFields())
+	}
+	m.Free(h)
+	if m.NumFields() != 0 {
+		t.Errorf("NumFields after free = %d", m.NumFields())
+	}
+}
+
+func BenchmarkReadAt(b *testing.B) {
+	m, _ := New(1<<24, 4096)
+	data := make([]byte, 1<<21)
+	h, _ := m.Allocate(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ReadAt(h, uint64(i)%(1<<20), 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package mining
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func txn(id int64, items ...string) Transaction {
+	t := Transaction{ID: id}
+	for _, s := range items {
+		t.Items = append(t.Items, Item(s))
+	}
+	return t
+}
+
+// classicBasket is the textbook market-basket example.
+func classicBasket() []Transaction {
+	return []Transaction{
+		txn(1, "bread", "milk"),
+		txn(2, "bread", "diapers", "beer", "eggs"),
+		txn(3, "milk", "diapers", "beer", "cola"),
+		txn(4, "bread", "milk", "diapers", "beer"),
+		txn(5, "bread", "milk", "diapers", "cola"),
+	}
+}
+
+func supportOf(t *testing.T, fsets []FrequentSet, items ...string) int {
+	t.Helper()
+	want := ItemSet{}
+	for _, s := range items {
+		want = append(want, Item(s))
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for _, fs := range fsets {
+		if fs.Items.key() == want.key() {
+			return fs.Support
+		}
+	}
+	return 0
+}
+
+func TestFrequentItemSetsClassic(t *testing.T) {
+	fsets, err := FrequentItemSets(classicBasket(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]int{
+		"beer":          3,
+		"bread":         4,
+		"milk":          4,
+		"diapers":       4,
+		"beer,diapers":  3,
+		"bread,milk":    3,
+		"bread,diapers": 3,
+		"milk,diapers":  3,
+	}
+	for spec, want := range cases {
+		var items []string
+		for _, s := range splitComma(spec) {
+			items = append(items, s)
+		}
+		if got := supportOf(t, fsets, items...); got != want {
+			t.Errorf("support(%s) = %d, want %d", spec, got, want)
+		}
+	}
+	// cola appears twice: not frequent at minSupport 3.
+	if supportOf(t, fsets, "cola") != 0 {
+		t.Error("cola should not be frequent")
+	}
+	// beer+bread co-occurs only twice.
+	if supportOf(t, fsets, "beer", "bread") != 0 {
+		t.Error("{beer,bread} should not be frequent")
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func TestRulesClassic(t *testing.T) {
+	rules, err := Rules(classicBasket(), 3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {beer} -> {diapers} has confidence 3/3 = 1.0.
+	found := false
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == "beer" &&
+			len(r.Consequent) == 1 && r.Consequent[0] == "diapers" {
+			found = true
+			if r.Confidence != 1.0 {
+				t.Errorf("confidence = %v, want 1.0", r.Confidence)
+			}
+			if r.Support != 0.6 {
+				t.Errorf("support = %v, want 0.6", r.Support)
+			}
+			// lift = 1.0 / (4/5) = 1.25
+			if r.Lift < 1.24 || r.Lift > 1.26 {
+				t.Errorf("lift = %v, want 1.25", r.Lift)
+			}
+		}
+	}
+	if !found {
+		t.Error("rule beer => diapers not found")
+	}
+	// Rules sorted by confidence descending.
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence {
+			t.Error("rules not sorted by confidence")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := FrequentItemSets(nil, 0); err == nil {
+		t.Error("minSupport 0 accepted")
+	}
+	if _, err := Rules(nil, 1, 0); err == nil {
+		t.Error("minConfidence 0 accepted")
+	}
+	if _, err := Rules(nil, 1, 1.5); err == nil {
+		t.Error("minConfidence > 1 accepted")
+	}
+	rules, err := Rules(nil, 1, 0.5)
+	if err != nil || rules != nil {
+		t.Errorf("empty transactions: %v, %v", rules, err)
+	}
+}
+
+func TestDuplicateItemsInTransaction(t *testing.T) {
+	fsets, err := FrequentItemSets([]Transaction{
+		txn(1, "a", "a", "b"),
+		txn(2, "a", "b", "b"),
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := supportOf(t, fsets, "a"); got != 2 {
+		t.Errorf("support(a) = %d, want 2 (duplicates must not double-count)", got)
+	}
+	if got := supportOf(t, fsets, "a", "b"); got != 2 {
+		t.Errorf("support(a,b) = %d, want 2", got)
+	}
+}
+
+func TestThreeItemSets(t *testing.T) {
+	txns := []Transaction{
+		txn(1, "x", "y", "z"),
+		txn(2, "x", "y", "z"),
+		txn(3, "x", "y", "z"),
+		txn(4, "x", "y"),
+		txn(5, "q"),
+	}
+	fsets, err := FrequentItemSets(txns, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := supportOf(t, fsets, "x", "y", "z"); got != 3 {
+		t.Errorf("support(x,y,z) = %d, want 3", got)
+	}
+	// Rule {x,y} -> {z}: confidence 3/4.
+	rules, err := Rules(txns, 3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rules {
+		if r.Antecedent.String() == "{x, y}" && r.Consequent.String() == "{z}" {
+			found = true
+			if r.Confidence != 0.75 {
+				t.Errorf("confidence = %v, want 0.75", r.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Error("rule {x,y} => {z} not found")
+	}
+}
+
+// TestAprioriAgainstBruteForce property-tests frequent-set discovery
+// against exhaustive enumeration on small random datasets.
+func TestAprioriAgainstBruteForce(t *testing.T) {
+	universe := []Item{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		txns := make([]Transaction, n)
+		for i := range txns {
+			for _, it := range universe {
+				if rng.Intn(2) == 1 {
+					txns[i].Items = append(txns[i].Items, it)
+				}
+			}
+			txns[i].ID = int64(i)
+		}
+		minSup := rng.Intn(n) + 1
+		fsets, err := FrequentItemSets(txns, minSup)
+		if err != nil {
+			return false
+		}
+		got := make(map[string]int)
+		for _, fs := range fsets {
+			got[fs.Items.key()] = fs.Support
+		}
+		// Brute force all 2^5 - 1 subsets.
+		for mask := 1; mask < 1<<len(universe); mask++ {
+			var set ItemSet
+			for i, it := range universe {
+				if mask>>i&1 == 1 {
+					set = append(set, it)
+				}
+			}
+			support := 0
+			for _, tx := range txns {
+				all := true
+				for _, it := range set {
+					has := false
+					for _, x := range tx.Items {
+						if x == it {
+							has = true
+							break
+						}
+					}
+					if !has {
+						all = false
+						break
+					}
+				}
+				if all {
+					support++
+				}
+			}
+			wantPresent := support >= minSup
+			gotSup, present := got[set.key()]
+			if present != wantPresent {
+				return false
+			}
+			if present && gotSup != support {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuleAndSetString(t *testing.T) {
+	r := Rule{Antecedent: ItemSet{"a"}, Consequent: ItemSet{"b"}, Support: 0.5, Confidence: 0.9, Lift: 1.2}
+	if r.String() == "" || (ItemSet{"a", "b"}).String() != "{a, b}" {
+		t.Error("String methods broken")
+	}
+}
+
+func BenchmarkApriori(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	universe := []Item{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	txns := make([]Transaction, 300)
+	for i := range txns {
+		for _, it := range universe {
+			if rng.Intn(3) != 0 {
+				txns[i].Items = append(txns[i].Items, it)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FrequentItemSets(txns, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package netsim simulates the RPC link between the Starburst/
+// MedicalServer process and the DX executive (Figure 7/8 of the paper).
+// Calls are dispatched in-process to registered handlers while the
+// traffic — messages and bytes in both directions — is counted and
+// priced with the cost model, reproducing the paper's "network" column
+// (message count and answer time).
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"qbism/internal/costmodel"
+)
+
+// Handler serves one RPC: it receives the request payload and returns
+// the response payload.
+type Handler func(request []byte) ([]byte, error)
+
+// Stats is cumulative link traffic.
+type Stats struct {
+	Calls    uint64
+	Messages uint64
+	Bytes    uint64
+}
+
+// Sub returns s - o for per-query deltas.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{Calls: s.Calls - o.Calls, Messages: s.Messages - o.Messages, Bytes: s.Bytes - o.Bytes}
+}
+
+// Link is a simulated bidirectional RPC channel. It is safe for
+// concurrent use.
+type Link struct {
+	model costmodel.Model
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	stats    Stats
+}
+
+// NewLink creates a link priced with the given model.
+func NewLink(model costmodel.Model) *Link {
+	return &Link{model: model, handlers: make(map[string]Handler)}
+}
+
+// Register installs the server-side handler for a method name.
+func (l *Link) Register(method string, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.handlers[method] = h
+}
+
+// Call performs an RPC: the request crosses the link, the handler runs,
+// and the response crosses back. Both directions are metered.
+func (l *Link) Call(method string, request []byte) ([]byte, error) {
+	l.mu.Lock()
+	h, ok := l.handlers[method]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: no handler for method %q", method)
+	}
+	l.account(uint64(len(request)))
+	resp, err := h(request)
+	if err != nil {
+		return nil, err
+	}
+	l.account(uint64(len(resp)))
+	return resp, nil
+}
+
+func (l *Link) account(payload uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Calls++
+	l.stats.Messages += l.model.Messages(payload)
+	l.stats.Bytes += payload
+}
+
+// Stats returns the cumulative counters.
+func (l *Link) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// ResetStats zeroes the counters.
+func (l *Link) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats = Stats{}
+}
+
+// SimTime prices the current counters with the link's model.
+func (l *Link) SimTime() (messages uint64, seconds float64) {
+	s := l.Stats()
+	return s.Messages, l.model.NetworkTime(s.Messages).Seconds()
+}

@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"qbism/internal/costmodel"
+)
+
+func TestCallRoundTrip(t *testing.T) {
+	l := NewLink(costmodel.Default1993())
+	l.Register("echo", func(req []byte) ([]byte, error) {
+		return append([]byte("re:"), req...), nil
+	})
+	resp, err := l.Call("echo", []byte("hello"))
+	if err != nil || string(resp) != "re:hello" {
+		t.Fatalf("Call = %q, %v", resp, err)
+	}
+	s := l.Stats()
+	if s.Calls != 2 || s.Bytes != 5+8 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	l := NewLink(costmodel.Default1993())
+	if _, err := l.Call("nope", nil); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestHandlerErrorNotMetered(t *testing.T) {
+	l := NewLink(costmodel.Default1993())
+	boom := errors.New("boom")
+	l.Register("fail", func(req []byte) ([]byte, error) { return nil, boom })
+	if _, err := l.Call("fail", []byte("xx")); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	s := l.Stats()
+	if s.Calls != 1 { // request crossed, response did not
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	m := costmodel.Default1993()
+	l := NewLink(m)
+	l.Register("blob", func(req []byte) ([]byte, error) {
+		return make([]byte, 10*1024), nil
+	})
+	l.Call("blob", nil)
+	s := l.Stats()
+	want := m.Messages(0) + m.Messages(10*1024)
+	if s.Messages != want {
+		t.Errorf("messages = %d, want %d", s.Messages, want)
+	}
+	msgs, secs := l.SimTime()
+	if msgs != want || secs <= 0 {
+		t.Errorf("SimTime = %d, %v", msgs, secs)
+	}
+	l.ResetStats()
+	if l.Stats() != (Stats{}) {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Calls: 5, Messages: 10, Bytes: 100}
+	b := Stats{Calls: 2, Messages: 4, Bytes: 30}
+	d := a.Sub(b)
+	if d.Calls != 3 || d.Messages != 6 || d.Bytes != 70 {
+		t.Errorf("Sub = %+v", d)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	l := NewLink(costmodel.Default1993())
+	l.Register("inc", func(req []byte) ([]byte, error) { return req, nil })
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := l.Call("inc", []byte{1}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := l.Stats(); s.Calls != 100 {
+		t.Errorf("calls = %d, want 100", s.Calls)
+	}
+}

@@ -1,0 +1,79 @@
+package qbism
+
+import (
+	"testing"
+)
+
+// TestSystemDeterminism: two systems built from the same seed must be
+// bit-identical in every respect an experiment can observe — the whole
+// reproduction depends on this.
+func TestSystemDeterminism(t *testing.T) {
+	cfg := Config{Bits: 4, NumPET: 2, NumMRI: 1, Seed: 99, SmallStudies: true}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Band regions identical.
+	for study, bandsA := range a.BandRegions {
+		bandsB := b.BandRegions[study]
+		if len(bandsA) != len(bandsB) {
+			t.Fatalf("study %d band counts differ", study)
+		}
+		for i := range bandsA {
+			if !bandsA[i].Region.Equal(bandsB[i].Region) {
+				t.Fatalf("study %d band %d regions differ", study, i)
+			}
+		}
+	}
+	// Warped volumes identical.
+	for _, st := range a.Studies {
+		va, err := a.readStudyVolume(st.StudyID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := b.readStudyVolume(st.StudyID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, bb := va.Bytes(), vb.Bytes()
+		for i := range ba {
+			if ba[i] != bb[i] {
+				t.Fatalf("study %d differs at voxel %d", st.StudyID, i)
+			}
+		}
+	}
+	// Query results and I/O counts identical.
+	spec := QuerySpec{StudyID: 1, Atlas: "Talairach", Structure: "ntal"}
+	ra, err := a.RunQuery(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.RunQuery(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Timing.LFMPages != rb.Timing.LFMPages || ra.Timing.Voxels != rb.Timing.Voxels ||
+		ra.Timing.NetMessages != rb.Timing.NetMessages {
+		t.Errorf("timings differ: %+v vs %+v", ra.Timing, rb.Timing)
+	}
+	// Different seeds produce different data.
+	c, err := New(Config{Bits: 4, NumPET: 2, NumMRI: 1, Seed: 100, SmallStudies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := a.readStudyVolume(1)
+	vc, _ := c.readStudyVolume(1)
+	same := 0
+	for i := range va.Bytes() {
+		if va.Bytes()[i] == vc.Bytes()[i] {
+			same++
+		}
+	}
+	if same == len(va.Bytes()) {
+		t.Error("different seeds produced identical volumes")
+	}
+}

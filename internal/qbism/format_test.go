@@ -1,0 +1,171 @@
+package qbism
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"qbism/internal/sdb"
+)
+
+func TestWriteFormatters(t *testing.T) {
+	s := testSystem(t)
+	var buf bytes.Buffer
+
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Q1") || !strings.Contains(buf.String(), "LFM-IO") {
+		t.Error("Table 3 output incomplete")
+	}
+
+	t4, err := s.Table4(128, 159)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	WriteTable4(&buf, t4, 128, 159)
+	for _, want := range []string{EncHilbertNaive, EncZNaive, EncOctant} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 4 output missing %s", want)
+		}
+	}
+
+	rep, err := s.RunRatios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	WriteRunRatios(&buf, rep)
+	if !strings.Contains(buf.String(), "1.27") { // the paper reference line
+		t.Error("run-ratio output missing paper reference")
+	}
+
+	dl, err := s.DeltaLaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	WriteDeltaLaw(&buf, dl)
+	if !strings.Contains(buf.String(), "mean alpha") {
+		t.Error("delta-law output incomplete")
+	}
+
+	sz, err := s.Sizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	WriteSizes(&buf, sz)
+	if !strings.Contains(buf.String(), "entropy") {
+		t.Error("sizes output incomplete")
+	}
+
+	mg, err := s.MingapSweep([]uint64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	WriteMingap(&buf, mg)
+	if !strings.Contains(buf.String(), "mingap") {
+		t.Error("mingap output incomplete")
+	}
+}
+
+func TestTable4One(t *testing.T) {
+	s := testSystem(t)
+	row, err := s.Table4One(128, 159, EncHilbertNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Encoding != EncHilbertNaive || row.NumStudies != 3 || row.LFMPages == 0 {
+		t.Errorf("row = %+v", row)
+	}
+	if _, err := s.Table4One(128, 159, "bogus-encoding"); err == nil {
+		t.Error("unknown encoding accepted")
+	}
+	if _, err := s.Table4One(7, 9, EncHilbertNaive); err == nil {
+		t.Error("unknown band accepted")
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Microsecond:  "500µs",
+		20 * time.Millisecond:   "20ms",
+		1500 * time.Millisecond: "1.50s",
+	}
+	for d, want := range cases {
+		if got := fmtDur(d); got != want {
+			t.Errorf("fmtDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+	if truncate("abcdef", 4) != "abc…" || truncate("ab", 4) != "ab" {
+		t.Error("truncate broken")
+	}
+}
+
+func TestSplitResponseErrors(t *testing.T) {
+	if _, _, err := splitResponse([]byte{1, 2}); err == nil {
+		t.Error("short response accepted")
+	}
+	if _, _, err := splitResponse([]byte{0, 0, 0, 99, 1, 2}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, _, err := splitResponse([]byte{0, 0, 0, 2, '{', 'x'}); err == nil {
+		t.Error("bad JSON header accepted")
+	}
+}
+
+func TestRegionFromValueErrors(t *testing.T) {
+	s := testSystem(t)
+	if _, err := regionFromValue(s.DB, sdb.Int(5)); err == nil {
+		t.Error("int as region accepted")
+	}
+	if _, err := regionFromValue(s.DB, sdb.Bytes([]byte{0x01, 0x02})); err == nil {
+		t.Error("garbage bytes accepted")
+	}
+	if _, err := regionFromValue(s.DB, sdb.Long(999999)); err == nil {
+		t.Error("dangling handle accepted")
+	}
+	// A DataRegion blob decodes to its region.
+	res := s.DB.MustExec(`
+select extractVoxels(wv.data, as.region)
+from warpedVolume wv, atlasStructure as, neuralStructure ns
+where wv.studyId = 1 and wv.atlasId = as.atlasId
+  and as.structureId = ns.structureId and ns.structureName = 'putamen'`)
+	r, err := regionFromValue(s.DB, res.Rows[0][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	putamen, _ := s.Atlas.ByName("putamen")
+	if r.NumVoxels() != putamen.Region.NumVoxels() {
+		t.Error("DataRegion blob region mismatched")
+	}
+}
+
+func TestQuerySpecLabelAndKey(t *testing.T) {
+	box := [6]uint32{1, 2, 3, 4, 5, 6}
+	specs := []QuerySpec{
+		{StudyID: 1, FullStudy: true},
+		{StudyID: 1, Box: &box},
+		{StudyID: 1, Structure: "ntal"},
+		{StudyID: 1, HasBand: true, BandLo: 0, BandHi: 31},
+		{StudyID: 1, Structure: "ntal", HasBand: true, BandLo: 0, BandHi: 31},
+		{StudyID: 1},
+	}
+	seen := make(map[string]bool)
+	for _, sp := range specs {
+		if sp.Label() == "" {
+			t.Errorf("empty label for %+v", sp)
+		}
+		k := sp.Key()
+		if seen[k] {
+			t.Errorf("duplicate cache key %q", k)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,221 @@
+package qbism
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"qbism/internal/sdb"
+)
+
+// QuerySpec is the high-level query a user composes in the DX entry
+// fields; the MedicalServer translates it into SQL (Section 5.2's
+// "division of labor").
+type QuerySpec struct {
+	StudyID int    `json:"studyId"`
+	Atlas   string `json:"atlas"` // atlas name, e.g. "Talairach"
+
+	// FullStudy requests the entire VOLUME (query Q1).
+	FullStudy bool `json:"fullStudy,omitempty"`
+	// Structure restricts spatially to a named anatomical structure
+	// (queries Q3, Q4).
+	Structure string `json:"structure,omitempty"`
+	// Box restricts spatially to a rectangular solid, inclusive corners
+	// (x0,y0,z0,x1,y1,z1) — query Q2.
+	Box *[6]uint32 `json:"box,omitempty"`
+	// HasBand restricts by intensity to [BandLo, BandHi], which must
+	// match a stored band (queries Q5, Q6).
+	HasBand bool `json:"hasBand,omitempty"`
+	BandLo  int  `json:"bandLo,omitempty"`
+	BandHi  int  `json:"bandHi,omitempty"`
+	// Encoding selects the band REGION encoding (default EncHilbertNaive).
+	Encoding string `json:"encoding,omitempty"`
+}
+
+// Key returns a cache key identifying the query.
+func (q QuerySpec) Key() string {
+	b, _ := json.Marshal(q)
+	return string(b)
+}
+
+// Label names the query in reports.
+func (q QuerySpec) Label() string {
+	var parts []string
+	switch {
+	case q.FullStudy:
+		parts = append(parts, "entire study")
+	}
+	if q.Box != nil {
+		parts = append(parts, fmt.Sprintf("box (%d,%d,%d)-(%d,%d,%d)",
+			q.Box[0], q.Box[1], q.Box[2], q.Box[3], q.Box[4], q.Box[5]))
+	}
+	if q.Structure != "" {
+		parts = append(parts, q.Structure)
+	}
+	if q.HasBand {
+		parts = append(parts, fmt.Sprintf("band %d-%d", q.BandLo, q.BandHi))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "empty spec")
+	}
+	return fmt.Sprintf("study %d: %s", q.StudyID, strings.Join(parts, " in "))
+}
+
+// QueryMeta is the server-side response header: atlas coordinate-space
+// and patient information from the first SQL query (needed for
+// rendering and annotation), plus server-side measurement counters.
+type QueryMeta struct {
+	N         int     `json:"n"`
+	DX        float64 `json:"dx"`
+	DY        float64 `json:"dy"`
+	DZ        float64 `json:"dz"`
+	AtlasID   int     `json:"atlasId"`
+	Patient   string  `json:"patient"`
+	PatientID int     `json:"patientId"`
+	Date      string  `json:"date"`
+
+	DBCPUNanos int64  `json:"dbCpuNanos"` // measured handler CPU (wall) time
+	LFMPages   uint64 `json:"lfmPages"`   // 4 KB pages read during the query
+}
+
+// medicalQueryMethod is the RPC method name on the link.
+const medicalQueryMethod = "medicalQuery"
+
+// registerMedicalServer installs the MedicalServer RPC handler: it
+// receives a QuerySpec, generates and executes the SQL, and returns the
+// response payload (meta header + DataRegion blob).
+func (s *System) registerMedicalServer() {
+	s.Link.Register(medicalQueryMethod, func(request []byte) ([]byte, error) {
+		var spec QuerySpec
+		if err := json.Unmarshal(request, &spec); err != nil {
+			return nil, fmt.Errorf("qbism: bad query spec: %v", err)
+		}
+		start := time.Now()
+		pages0 := s.LFM.Stats().PageReads
+
+		meta, err := s.runMetadataQuery(spec)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := s.runDataQuery(spec)
+		if err != nil {
+			return nil, err
+		}
+
+		meta.DBCPUNanos = time.Since(start).Nanoseconds()
+		meta.LFMPages = s.LFM.Stats().PageReads - pages0
+		header, err := json.Marshal(meta)
+		if err != nil {
+			return nil, err
+		}
+		resp := make([]byte, 4+len(header)+len(blob))
+		binary.BigEndian.PutUint32(resp, uint32(len(header)))
+		copy(resp[4:], header)
+		copy(resp[4+len(header):], blob)
+		return resp, nil
+	})
+}
+
+// runMetadataQuery executes the paper's first §3.4 query: verify the
+// warped study exists and fetch atlas space and patient information.
+func (s *System) runMetadataQuery(spec QuerySpec) (*QueryMeta, error) {
+	sql := fmt.Sprintf(`
+select a.n, a.x0, a.y0, a.z0, a.dx, a.dy, a.dz,
+       a.atlasId, p.name, p.patientId, rv.date
+from   atlas a, rawVolume rv,
+       warpedVolume wv, patient p
+where  a.atlasId = wv.atlasId and
+       wv.studyId = rv.studyId and
+       rv.patientId = p.patientId and
+       rv.studyId = %d and a.atlasName = '%s'`, spec.StudyID, escapeSQL(spec.Atlas))
+	res, err := s.DB.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) != 1 {
+		return nil, fmt.Errorf("qbism: no warped study %d in atlas %q", spec.StudyID, spec.Atlas)
+	}
+	row := res.Rows[0]
+	return &QueryMeta{
+		N: int(row[0].I), DX: row[4].F, DY: row[5].F, DZ: row[6].F,
+		AtlasID: int(row[7].I), Patient: row[8].S, PatientID: int(row[9].I), Date: row[10].S,
+	}, nil
+}
+
+// runDataQuery builds and executes the second §3.4 query, returning the
+// marshaled DataRegion. The generated SQL mirrors the paper: a call to
+// extractVoxels() with, for mixed queries, intersection() nested inside
+// and additional joins.
+func (s *System) runDataQuery(spec QuerySpec) ([]byte, error) {
+	encoding := spec.Encoding
+	if encoding == "" {
+		encoding = EncHilbertNaive
+	}
+	var sql string
+	switch {
+	case spec.FullStudy:
+		sql = fmt.Sprintf(`
+select fullVolume(wv.data)
+from   warpedVolume wv
+where  wv.studyId = %d`, spec.StudyID)
+
+	case spec.Box != nil && !spec.HasBand && spec.Structure == "":
+		b := spec.Box
+		sql = fmt.Sprintf(`
+select extractVoxels(wv.data, boxRegion(%d, %d, %d, %d, %d, %d))
+from   warpedVolume wv
+where  wv.studyId = %d`, b[0], b[1], b[2], b[3], b[4], b[5], spec.StudyID)
+
+	case spec.Structure != "" && !spec.HasBand:
+		sql = fmt.Sprintf(`
+select extractVoxels(wv.data, as.region)
+from   warpedVolume wv, atlasStructure as, neuralStructure ns
+where  wv.studyId = %d and
+       wv.atlasId = as.atlasId and
+       as.structureId = ns.structureId and
+       ns.structureName = '%s'`, spec.StudyID, escapeSQL(spec.Structure))
+
+	case spec.HasBand && spec.Structure == "":
+		sql = fmt.Sprintf(`
+select extractVoxels(wv.data, ib.region)
+from   warpedVolume wv, intensityBand ib
+where  wv.studyId = %d and
+       ib.studyId = wv.studyId and ib.atlasId = wv.atlasId and
+       ib.lo = %d and ib.hi = %d and ib.encoding = '%s'`,
+			spec.StudyID, spec.BandLo, spec.BandHi, escapeSQL(encoding))
+
+	case spec.HasBand && spec.Structure != "":
+		// Mixed query: intersection() in the select list, extra joins.
+		sql = fmt.Sprintf(`
+select extractVoxels(wv.data, intersection(ib.region, as.region))
+from   warpedVolume wv, intensityBand ib, atlasStructure as, neuralStructure ns
+where  wv.studyId = %d and
+       ib.studyId = wv.studyId and ib.atlasId = wv.atlasId and
+       ib.lo = %d and ib.hi = %d and ib.encoding = '%s' and
+       as.atlasId = wv.atlasId and
+       as.structureId = ns.structureId and
+       ns.structureName = '%s'`,
+			spec.StudyID, spec.BandLo, spec.BandHi, escapeSQL(encoding), escapeSQL(spec.Structure))
+
+	default:
+		return nil, fmt.Errorf("qbism: query spec selects nothing (set FullStudy, Box, Structure, or a band)")
+	}
+
+	res, err := s.DB.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return nil, fmt.Errorf("qbism: data query returned %d rows (spec %s)", len(res.Rows), spec.Label())
+	}
+	v := res.Rows[0][0]
+	if v.T != sdb.TBytes {
+		return nil, fmt.Errorf("qbism: data query returned %v, want DATA_REGION bytes", v.T)
+	}
+	return v.Y, nil
+}
+
+// escapeSQL doubles single quotes for embedding in SQL literals.
+func escapeSQL(s string) string { return strings.ReplaceAll(s, "'", "''") }

@@ -1,0 +1,154 @@
+package qbism
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"qbism/internal/dx"
+	"qbism/internal/volume"
+)
+
+// QueryTiming is one row of Table 3: result size, I/O, and the
+// per-component time breakdown. Measured* fields are this machine's
+// actual wall times; Sim* fields price the counted work with the
+// calibrated 1993 cost model so rows are comparable with the paper's.
+type QueryTiming struct {
+	Label  string
+	HRuns  int
+	Voxels uint64
+
+	LFMPages uint64 // LFM disk I/Os (4 KB pages)
+
+	DBMeasured     time.Duration // server-side handler time on this machine
+	DBSimReal      time.Duration // simulated Starburst/MedicalServer real time
+	NetMessages    uint64
+	NetSim         time.Duration
+	ImportMeasured time.Duration
+	ImportSim      time.Duration
+	RenderMeasured time.Duration
+	RenderSim      time.Duration
+	OtherSim       time.Duration
+	TotalSim       time.Duration
+	TotalMeasured  time.Duration
+}
+
+// QueryResult is a completed end-to-end query.
+type QueryResult struct {
+	Spec   QuerySpec
+	Meta   QueryMeta
+	Data   *volume.DataRegion
+	Field  *dx.Field
+	Image  *dx.Image
+	Timing QueryTiming
+}
+
+// RunQuery executes a query end to end under the paper's measurement
+// protocol: the DX cache is flushed first, then the spec crosses the
+// network to the MedicalServer, SQL runs in the database, the result
+// crosses back, DX imports it and renders an image. Every component's
+// work is counted and timed.
+func (s *System) RunQuery(spec QuerySpec) (*QueryResult, error) {
+	s.Cache.Flush() // §6.1: "we flushed the DX cache before each run"
+	totalStart := time.Now()
+
+	request, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	net0 := s.Link.Stats()
+	resp, err := s.Link.Call(medicalQueryMethod, request)
+	if err != nil {
+		return nil, err
+	}
+	netDelta := s.Link.Stats().Sub(net0)
+
+	meta, blob, err := splitResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+
+	importStart := time.Now()
+	data, err := UnmarshalDataRegion(blob)
+	if err != nil {
+		return nil, err
+	}
+	field, importStats, err := dx.ImportVolume(data)
+	if err != nil {
+		return nil, err
+	}
+	importDur := time.Since(importStart)
+
+	renderStart := time.Now()
+	img, err := field.Render(dx.RenderOpts{Axis: 2, Mode: dx.MIP})
+	if err != nil {
+		return nil, err
+	}
+	renderDur := time.Since(renderStart)
+	s.Cache.Put(spec.Key(), field)
+
+	t := QueryTiming{
+		Label:          spec.Label(),
+		HRuns:          data.Region.NumRuns(),
+		Voxels:         data.Region.NumVoxels(),
+		LFMPages:       meta.LFMPages,
+		DBMeasured:     time.Duration(meta.DBCPUNanos),
+		DBSimReal:      s.Model.StarburstTime(time.Duration(meta.DBCPUNanos), meta.LFMPages),
+		NetMessages:    netDelta.Messages,
+		NetSim:         s.Model.NetworkTime(netDelta.Messages),
+		ImportMeasured: importDur,
+		ImportSim:      s.Model.ImportTime(importStats.Voxels, importStats.Runs),
+		RenderMeasured: renderDur,
+		RenderSim:      s.Model.RenderTime(importStats.Voxels),
+		OtherSim:       s.Model.OtherTime,
+	}
+	t.TotalSim = t.DBSimReal + t.NetSim + t.ImportSim + t.RenderSim + t.OtherSim
+	t.TotalMeasured = time.Since(totalStart)
+
+	return &QueryResult{
+		Spec: spec, Meta: *meta, Data: data, Field: field, Image: img, Timing: t,
+	}, nil
+}
+
+// RunQueryCached serves the query from the DX cache when possible (the
+// interactive path: "the user can quickly review and manipulate the
+// results of several recently issued queries without necessitating a
+// database reaccess"). On a miss it falls through to RunQuery.
+func (s *System) RunQueryCached(spec QuerySpec) (*QueryResult, bool, error) {
+	if field, ok := s.Cache.Get(spec.Key()); ok {
+		img, err := field.Render(dx.RenderOpts{Axis: 2, Mode: dx.MIP})
+		if err != nil {
+			return nil, false, err
+		}
+		return &QueryResult{
+			Spec:  spec,
+			Data:  field.Data,
+			Field: field,
+			Image: img,
+			Timing: QueryTiming{
+				Label:  spec.Label() + " (cached)",
+				HRuns:  field.Data.Region.NumRuns(),
+				Voxels: field.Data.Region.NumVoxels(),
+			},
+		}, true, nil
+	}
+	res, err := s.RunQuery(spec)
+	return res, false, err
+}
+
+// splitResponse separates the JSON meta header from the DataRegion blob.
+func splitResponse(resp []byte) (*QueryMeta, []byte, error) {
+	if len(resp) < 4 {
+		return nil, nil, fmt.Errorf("qbism: short response")
+	}
+	hlen := binary.BigEndian.Uint32(resp)
+	if uint64(len(resp)) < 4+uint64(hlen) {
+		return nil, nil, fmt.Errorf("qbism: response header truncated")
+	}
+	var meta QueryMeta
+	if err := json.Unmarshal(resp[4:4+hlen], &meta); err != nil {
+		return nil, nil, fmt.Errorf("qbism: bad response header: %v", err)
+	}
+	return &meta, resp[4+hlen:], nil
+}

@@ -1,0 +1,398 @@
+package qbism
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"qbism/internal/atlas"
+	"qbism/internal/costmodel"
+	"qbism/internal/dx"
+	"qbism/internal/lfm"
+	"qbism/internal/netsim"
+	"qbism/internal/rencode"
+	"qbism/internal/sdb"
+	"qbism/internal/sfc"
+	"qbism/internal/synth"
+	"qbism/internal/volume"
+	"qbism/internal/warp"
+)
+
+// Band-encoding labels stored in the intensityBand.encoding column.
+const (
+	// EncHilbertNaive is runs in Hilbert order, 8 bytes per run — the
+	// default of the paper's experiments (Section 6.1).
+	EncHilbertNaive = "h-naive"
+	// EncZNaive is runs in Z order, 8 bytes per run.
+	EncZNaive = "z-naive"
+	// EncOctant is regular octants in Z order, 4 bytes per octant.
+	EncOctant = "octant"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Bits is the atlas grid resolution: side = 1<<Bits. The paper uses
+	// 7 (128x128x128).
+	Bits int
+	// NumPET and NumMRI are the study counts (paper: 5 and 3).
+	NumPET, NumMRI int
+	// Seed drives all synthetic data deterministically.
+	Seed uint64
+	// Method is the primary REGION storage encoding (default Naive, as
+	// in the measured experiments; Elias is the paper's space winner).
+	Method rencode.Method
+	// BandWidth is the intensity band width (default 32 -> 8 bands).
+	BandWidth int
+	// WithMeshes builds and stores structure surface meshes.
+	WithMeshes bool
+	// ExtraBandEncodings additionally stores every band REGION in Z-run
+	// and octant encodings, enabling the Table 4 comparison.
+	ExtraBandEncodings bool
+	// SmallStudies shrinks acquisition grids (for tests).
+	SmallStudies bool
+	// StoreRaw keeps the raw patient-space studies in the database, as
+	// the paper's load pipeline does. Off saves device space.
+	StoreRaw bool
+	// DeviceBytes is the LFM device capacity (0 = sized automatically).
+	DeviceBytes uint64
+	// DevicePath, when set, backs the LFM with a real file at this path
+	// instead of simulated memory (the paper's "operating system disk
+	// device"). Page accounting is identical.
+	DevicePath string
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Bits == 0 {
+		c.Bits = 7
+	}
+	if c.NumPET == 0 && c.NumMRI == 0 {
+		c.NumPET, c.NumMRI = 5, 3
+	}
+	if c.BandWidth == 0 {
+		c.BandWidth = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1993
+	}
+	if c.DeviceBytes == 0 {
+		volBytes := uint64(1) << (3 * c.Bits)
+		perStudy := volBytes * 8 // warped + raw + bands + slack
+		c.DeviceBytes = uint64(c.NumPET+c.NumMRI+2)*perStudy + (64 << 20)
+	}
+	return c
+}
+
+// StudyInfo summarizes one loaded study.
+type StudyInfo struct {
+	StudyID   int
+	PatientID int
+	Modality  synth.Modality
+}
+
+// System is a fully loaded QBISM instance.
+type System struct {
+	Cfg    Config
+	Curve  sfc.Curve // Hilbert storage order
+	ZCurve sfc.Curve // Z order, for encoding comparisons
+	LFM    *lfm.Manager
+	DB     *sdb.DB
+	Link   *netsim.Link
+	Model  costmodel.Model
+	Atlas  *atlas.Atlas
+	Cache  *dx.Cache
+
+	AtlasID int
+	Studies []StudyInfo
+
+	// BandRegions keeps the per-study Hilbert band REGIONs in memory for
+	// the representation experiments (E1-E3); the authoritative copies
+	// live in the intensityBand table.
+	BandRegions map[int][]volume.BandSpec
+}
+
+// New builds, loads, and wires up a complete system: schema, atlas,
+// synthesized studies (generated, registered, warped, banded), spatial
+// UDFs, and the MedicalServer RPC endpoint.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	curve, err := sfc.New(sfc.Hilbert, 3, cfg.Bits)
+	if err != nil {
+		return nil, err
+	}
+	zcurve := sfc.MustNew(sfc.ZOrder, 3, cfg.Bits)
+	var mgr *lfm.Manager
+	if cfg.DevicePath != "" {
+		dev, derr := lfm.OpenFileDevice(cfg.DevicePath, cfg.DeviceBytes)
+		if derr != nil {
+			return nil, derr
+		}
+		mgr, err = lfm.NewFileBacked(dev, lfm.DefaultPageSize)
+	} else {
+		mgr, err = lfm.New(cfg.DeviceBytes, lfm.DefaultPageSize)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Cfg:         cfg,
+		Curve:       curve,
+		ZCurve:      zcurve,
+		LFM:         mgr,
+		DB:          sdb.NewDB(mgr),
+		Link:        netsim.NewLink(costmodel.Default1993()),
+		Model:       costmodel.Default1993(),
+		Cache:       dx.NewCache(8),
+		AtlasID:     1,
+		BandRegions: make(map[int][]volume.BandSpec),
+	}
+	if err := s.createSchema(); err != nil {
+		return nil, err
+	}
+	if err := s.loadAtlas(); err != nil {
+		return nil, err
+	}
+	if err := s.loadStudies(); err != nil {
+		return nil, err
+	}
+	if err := s.registerSpatialUDFs(); err != nil {
+		return nil, err
+	}
+	s.registerMedicalServer()
+	// Loading traffic is not part of any measured query.
+	s.LFM.ResetStats()
+	s.Link.ResetStats()
+	return s, nil
+}
+
+// createSchema issues the DDL for the Figure 1 schema.
+func (s *System) createSchema() error {
+	ddl := []string{
+		`create table atlas (atlasId int, atlasName string, n int,
+		   x0 float, y0 float, z0 float, dx float, dy float, dz float)`,
+		`create table neuralSystem (systemId int, systemName string)`,
+		`create table neuralStructure (structureId int, structureName string, systemId int)`,
+		`create table atlasStructure (structureId int, atlasId int, region long, surface long)`,
+		`create table patient (patientId int, name string, age int, sex string)`,
+		`create table rawVolume (studyId int, patientId int, date string, modality string,
+		   nx int, ny int, nz int, data long)`,
+		`create table warpedVolume (studyId int, atlasId int, warpParams string, data long)`,
+		`create table intensityBand (studyId int, atlasId int, lo int, hi int,
+		   encoding string, region long)`,
+	}
+	for _, stmt := range ddl {
+		if _, err := s.DB.Exec(stmt); err != nil {
+			return fmt.Errorf("qbism: schema: %v", err)
+		}
+	}
+	return nil
+}
+
+// loadAtlas builds the procedural atlas and stores it relationally.
+func (s *System) loadAtlas() error {
+	a, err := atlas.Build(s.Curve, s.Cfg.WithMeshes)
+	if err != nil {
+		return err
+	}
+	s.Atlas = a
+	side := 1 << s.Cfg.Bits
+	if _, err := s.DB.Exec(fmt.Sprintf(
+		`insert into atlas values (%d, 'Talairach', %d, 0.0, 0.0, 0.0, %g, %g, %g)`,
+		s.AtlasID, side, a.VoxelMM[0], a.VoxelMM[1], a.VoxelMM[2])); err != nil {
+		return err
+	}
+	systems := make(map[string]int)
+	for _, st := range a.Structures {
+		sysID, ok := systems[st.System]
+		if !ok {
+			sysID = len(systems) + 1
+			systems[st.System] = sysID
+			if _, err := s.DB.Exec(fmt.Sprintf(
+				`insert into neuralSystem values (%d, '%s')`, sysID, st.System)); err != nil {
+				return err
+			}
+		}
+		if _, err := s.DB.Exec(fmt.Sprintf(
+			`insert into neuralStructure values (%d, '%s', %d)`, st.ID, st.Name, sysID)); err != nil {
+			return err
+		}
+		enc, err := rencode.Encode(s.Cfg.Method, st.Region)
+		if err != nil {
+			return err
+		}
+		regionHandle, err := s.LFM.Allocate(enc)
+		if err != nil {
+			return err
+		}
+		surface := sdb.Null()
+		if st.Mesh != nil {
+			h, err := s.LFM.Allocate(st.Mesh.Marshal())
+			if err != nil {
+				return err
+			}
+			surface = sdb.Long(h)
+		}
+		if err := s.DB.InsertRow("atlasStructure", []sdb.Value{
+			sdb.Int(int64(st.ID)), sdb.Int(int64(s.AtlasID)), sdb.Long(regionHandle), surface,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadStudies synthesizes, registers, warps, stores, and bands each study.
+func (s *System) loadStudies() error {
+	side := 1 << s.Cfg.Bits
+	names := []string{"Hughes", "Ramirez", "Okafor", "Lindqvist", "Tanaka", "Moreau", "Petrov", "Osei", "Kim", "Novak"}
+	studyID := 0
+	for i := 0; i < s.Cfg.NumPET+s.Cfg.NumMRI; i++ {
+		modality := synth.PET
+		if i >= s.Cfg.NumPET {
+			modality = synth.MRI
+		}
+		studyID++
+		patientID := i + 1
+		params := synth.Params{
+			StudyID:   studyID,
+			PatientID: patientID,
+			Modality:  modality,
+			Seed:      s.Cfg.Seed + uint64(i)*7919,
+			AtlasSide: side,
+		}
+		if s.Cfg.SmallStudies {
+			g := synth.DefaultGrid(modality, side)
+			params.Grid = warp.Grid{NX: g.NX / 2, NY: g.NY / 2, NZ: g.NZ}
+			if params.Grid.NZ < 2 {
+				params.Grid.NZ = 2
+			}
+		}
+		raw, err := synth.Generate(params)
+		if err != nil {
+			return err
+		}
+		name := names[i%len(names)]
+		age := 25 + int((s.Cfg.Seed+uint64(i)*13)%50)
+		sex := "F"
+		if i%2 == 1 {
+			sex = "M"
+		}
+		if _, err := s.DB.Exec(fmt.Sprintf(
+			`insert into patient values (%d, '%s', %d, '%s')`, patientID, name, age, sex)); err != nil {
+			return err
+		}
+		rawHandle := sdb.Null()
+		if s.Cfg.StoreRaw {
+			h, err := s.LFM.Allocate(raw.Data)
+			if err != nil {
+				return err
+			}
+			rawHandle = sdb.Long(h)
+		}
+		if err := s.DB.InsertRow("rawVolume", []sdb.Value{
+			sdb.Int(int64(studyID)), sdb.Int(int64(patientID)), sdb.Str(raw.Date),
+			sdb.Str(modality.String()),
+			sdb.Int(int64(raw.Grid.NX)), sdb.Int(int64(raw.Grid.NY)), sdb.Int(int64(raw.Grid.NZ)),
+			rawHandle,
+		}); err != nil {
+			return err
+		}
+
+		// Warp to atlas space at load time (Section 2.2: "we generate and
+		// store the warped volume here at database load time ... since
+		// the computation is expensive").
+		scan, fitted, err := raw.WarpToAtlas(side)
+		if err != nil {
+			return err
+		}
+		vol, err := volume.FromScanline(s.Curve, scan)
+		if err != nil {
+			return err
+		}
+		volHandle, err := s.LFM.Allocate(vol.Bytes())
+		if err != nil {
+			return err
+		}
+		wp, err := json.Marshal(fitted.M)
+		if err != nil {
+			return err
+		}
+		if err := s.DB.InsertRow("warpedVolume", []sdb.Value{
+			sdb.Int(int64(studyID)), sdb.Int(int64(s.AtlasID)), sdb.Str(string(wp)), sdb.Long(volHandle),
+		}); err != nil {
+			return err
+		}
+
+		// Banding: uniformly spaced intensity intervals (width 32 in the
+		// paper) stored as REGIONs — the Intensity Band "index".
+		bands, err := vol.UniformBands(s.Cfg.BandWidth)
+		if err != nil {
+			return err
+		}
+		s.BandRegions[studyID] = bands
+		for _, b := range bands {
+			if err := s.storeBand(studyID, b, EncHilbertNaive); err != nil {
+				return err
+			}
+			if s.Cfg.ExtraBandEncodings {
+				for _, enc := range []string{EncZNaive, EncOctant} {
+					if err := s.storeBand(studyID, b, enc); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		s.Studies = append(s.Studies, StudyInfo{StudyID: studyID, PatientID: patientID, Modality: modality})
+	}
+	return nil
+}
+
+// storeBand encodes one band REGION under the named encoding and inserts
+// the intensityBand row.
+func (s *System) storeBand(studyID int, b volume.BandSpec, encoding string) error {
+	var data []byte
+	var err error
+	switch encoding {
+	case EncHilbertNaive:
+		data, err = rencode.Encode(rencode.Naive, b.Region)
+	case EncZNaive:
+		rz, rerr := b.Region.Recode(s.ZCurve)
+		if rerr != nil {
+			return rerr
+		}
+		data, err = rencode.Encode(rencode.Naive, rz)
+	case EncOctant:
+		rz, rerr := b.Region.Recode(s.ZCurve)
+		if rerr != nil {
+			return rerr
+		}
+		data, err = rencode.Encode(rencode.Octant, rz)
+	default:
+		return fmt.Errorf("qbism: unknown band encoding %q", encoding)
+	}
+	if err != nil {
+		return err
+	}
+	h, err := s.LFM.Allocate(data)
+	if err != nil {
+		return err
+	}
+	return s.DB.InsertRow("intensityBand", []sdb.Value{
+		sdb.Int(int64(studyID)), sdb.Int(int64(s.AtlasID)),
+		sdb.Int(int64(b.Lo)), sdb.Int(int64(b.Hi)),
+		sdb.Str(encoding), sdb.Long(h),
+	})
+}
+
+// Side returns the atlas grid side length.
+func (s *System) Side() int { return 1 << s.Cfg.Bits }
+
+// PETStudyIDs returns the loaded PET study ids in order.
+func (s *System) PETStudyIDs() []int {
+	var out []int
+	for _, st := range s.Studies {
+		if st.Modality == synth.PET {
+			out = append(out, st.StudyID)
+		}
+	}
+	return out
+}

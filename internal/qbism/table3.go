@@ -1,0 +1,83 @@
+package qbism
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table3Queries returns the six single-study query specs of Table 3,
+// scaled from the paper's 128-grid coordinates to this system's grid.
+// The study is the first PET study; the box is the paper's 71x71x71
+// rectangular solid with corners (30,30,30) and (100,100,100); bands
+// 224-255 are the top intensity band.
+func (s *System) Table3Queries() []QuerySpec {
+	study := s.PETStudyIDs()[0]
+	scale := func(v uint32) uint32 { return v * uint32(s.Side()) / 128 }
+	box := [6]uint32{scale(30), scale(30), scale(30), scale(100), scale(100), scale(100)}
+	topLo := 256 - s.Cfg.BandWidth
+	return []QuerySpec{
+		{StudyID: study, Atlas: "Talairach", FullStudy: true},
+		{StudyID: study, Atlas: "Talairach", Box: &box},
+		{StudyID: study, Atlas: "Talairach", Structure: "ntal"},
+		{StudyID: study, Atlas: "Talairach", Structure: "ntal1"},
+		{StudyID: study, Atlas: "Talairach", HasBand: true, BandLo: topLo, BandHi: 255},
+		{StudyID: study, Atlas: "Talairach", Structure: "ntal1", HasBand: true, BandLo: topLo, BandHi: 255},
+	}
+}
+
+// Table3 runs the six queries and returns their timing rows in order
+// (Q1..Q6).
+func (s *System) Table3() ([]QueryTiming, error) {
+	var rows []QueryTiming
+	for i, spec := range s.Table3Queries() {
+		res, err := s.RunQuery(spec)
+		if err != nil {
+			return nil, fmt.Errorf("qbism: Q%d (%s): %w", i+1, spec.Label(), err)
+		}
+		res.Timing.Label = fmt.Sprintf("Q%d: %s", i+1, spec.Label())
+		rows = append(rows, res.Timing)
+	}
+	return rows, nil
+}
+
+// WriteTable3 formats rows like the paper's Table 3.
+func WriteTable3(w io.Writer, rows []QueryTiming) {
+	fmt.Fprintln(w, "TABLE 3. Full-system run-time measurements for single-study queries.")
+	fmt.Fprintln(w, "Sim columns price counted work with the calibrated 1993 cost model;")
+	fmt.Fprintln(w, "meas columns are this machine's actual times.")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-34s %8s %9s %7s | %8s %8s | %6s %8s | %8s %8s | %8s %7s %8s | %9s\n",
+		"query", "h-runs", "voxels", "LFM-IO",
+		"DB(meas)", "DB(sim)", "msgs", "net(sim)",
+		"imp(meas)", "imp(sim)", "rend(sim)", "other", "tot(meas)", "tot(sim)")
+	fmt.Fprintln(w, strings.Repeat("-", 172))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-34s %8d %9d %7d | %8s %8.1f | %6d %8.1f | %8s %8.2f | %8.1f %7.1f %8s | %8.1fs\n",
+			truncate(r.Label, 34), r.HRuns, r.Voxels, r.LFMPages,
+			fmtDur(r.DBMeasured), r.DBSimReal.Seconds(),
+			r.NetMessages, r.NetSim.Seconds(),
+			fmtDur(r.ImportMeasured), r.ImportSim.Seconds(),
+			r.RenderSim.Seconds(), r.OtherSim.Seconds(), fmtDur(r.TotalMeasured),
+			r.TotalSim.Seconds())
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,246 @@
+package qbism
+
+import (
+	"fmt"
+
+	"qbism/internal/region"
+	"qbism/internal/rencode"
+	"qbism/internal/sdb"
+	"qbism/internal/sfc"
+	"qbism/internal/volume"
+)
+
+// registerSpatialUDFs installs the spatial operators of Section 3.2 (and
+// the helpers the MedicalServer's generated SQL uses) as user-defined
+// SQL functions, the way the prototype extended Starburst.
+func (s *System) registerSpatialUDFs() error {
+	udfs := []*sdb.UDF{
+		{
+			// INTERSECTION(REGION r1, REGION r2) -> REGION
+			Name: "intersection", MinArgs: 2, MaxArgs: 2,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				return s.regionBinop(db, args, region.Intersect)
+			},
+		},
+		{
+			// UNION(r1, r2), mentioned as a straightforward extension.
+			Name: "unionRegion", MinArgs: 2, MaxArgs: 2,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				return s.regionBinop(db, args, region.Union)
+			},
+		},
+		{
+			// DIFFERENCE(r1, r2), likewise.
+			Name: "differenceRegion", MinArgs: 2, MaxArgs: 2,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				return s.regionBinop(db, args, region.Difference)
+			},
+		},
+		{
+			// CONTAINS(REGION r1, REGION r2) -> BOOLEAN
+			Name: "contains", MinArgs: 2, MaxArgs: 2,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				a, err := regionFromValue(db, args[0])
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				b, err := regionFromValue(db, args[1])
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				ok, err := region.Contains(a, b)
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				return sdb.Bool(ok), nil
+			},
+		},
+		{
+			// EXTRACT_DATA(VOLUME v, REGION r) -> DATA_REGION
+			Name: "extractVoxels", MinArgs: 2, MaxArgs: 2,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				if args[0].T != sdb.TLong {
+					return sdb.Value{}, fmt.Errorf("extractVoxels: first argument must be a VOLUME long field, got %s", args[0].T)
+				}
+				r, err := regionFromValue(db, args[1])
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				// VOLUMEs are stored in the system's Hilbert order;
+				// regions arriving in another order are recoded first.
+				if r.Curve().Kind() != s.Curve.Kind() {
+					if r, err = r.Recode(s.Curve); err != nil {
+						return sdb.Value{}, err
+					}
+				}
+				d, err := ExtractStored(db.LFM(), args[0].L, r)
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				blob, err := MarshalDataRegion(d, s.Cfg.Method)
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				return sdb.Bytes(blob), nil
+			},
+		},
+		{
+			// fullVolume(VOLUME v) -> DATA_REGION over the whole grid
+			// (the "flat file" access path of query Q1).
+			Name: "fullVolume", MinArgs: 1, MaxArgs: 1,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				if args[0].T != sdb.TLong {
+					return sdb.Value{}, fmt.Errorf("fullVolume: argument must be a VOLUME long field, got %s", args[0].T)
+				}
+				data, err := db.LFM().Read(args[0].L)
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				if uint64(len(data)) != s.Curve.Length() {
+					return sdb.Value{}, fmt.Errorf("fullVolume: field has %d bytes, grid needs %d", len(data), s.Curve.Length())
+				}
+				d := &volume.DataRegion{Region: region.Full(s.Curve), Values: data}
+				blob, err := MarshalDataRegion(d, s.Cfg.Method)
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				return sdb.Bytes(blob), nil
+			},
+		},
+		{
+			// boxRegion(x0,y0,z0,x1,y1,z1) -> REGION for geometric probes
+			// such as Q2's rectangular solid.
+			Name: "boxRegion", MinArgs: 6, MaxArgs: 6,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				var c [6]uint32
+				for i, a := range args {
+					if a.T != sdb.TInt || a.I < 0 {
+						return sdb.Value{}, fmt.Errorf("boxRegion: argument %d must be a non-negative integer", i+1)
+					}
+					c[i] = uint32(a.I)
+				}
+				r, err := region.FromBox(s.Curve, region.Box{
+					Min: sfc.Pt(c[0], c[1], c[2]),
+					Max: sfc.Pt(c[3], c[4], c[5]),
+				})
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				return s.encodeRegionValue(r)
+			},
+		},
+		{
+			// nIntersect(r1, ..., rn) -> REGION: the n-way spatial
+			// intersection of the multi-study queries (Table 4).
+			Name: "nIntersect", MinArgs: 1, MaxArgs: -1,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				regions := make([]*region.Region, len(args))
+				for i, a := range args {
+					r, err := regionFromValue(db, a)
+					if err != nil {
+						return sdb.Value{}, err
+					}
+					regions[i] = r
+				}
+				// Regions stored in different orders (z, octant) are
+				// normalized onto the system curve before intersecting.
+				for i, r := range regions {
+					rc, err := r.Recode(s.curveFor(r))
+					if err != nil {
+						return sdb.Value{}, err
+					}
+					regions[i] = rc
+				}
+				out, err := region.IntersectN(regions...)
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				return s.encodeRegionValue(out)
+			},
+		},
+		{
+			Name: "numVoxels", MinArgs: 1, MaxArgs: 1,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				r, err := regionFromValue(db, args[0])
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				return sdb.Int(int64(r.NumVoxels())), nil
+			},
+		},
+		{
+			Name: "numRuns", MinArgs: 1, MaxArgs: 1,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				r, err := regionFromValue(db, args[0])
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				return sdb.Int(int64(r.NumRuns())), nil
+			},
+		},
+		{
+			// avgIntensity(DATA_REGION) -> FLOAT, a statistical response
+			// over an extraction.
+			Name: "avgIntensity", MinArgs: 1, MaxArgs: 1,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				if args[0].T != sdb.TBytes {
+					return sdb.Value{}, fmt.Errorf("avgIntensity: argument must be a DATA_REGION")
+				}
+				d, err := UnmarshalDataRegion(args[0].Y)
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				return sdb.Float(d.Stats().Mean), nil
+			},
+		},
+	}
+	for _, u := range udfs {
+		if err := s.DB.RegisterUDF(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regionBinop evaluates a binary spatial operator, recoding operands
+// onto a shared curve if needed.
+func (s *System) regionBinop(db *sdb.DB, args []sdb.Value,
+	op func(a, b *region.Region) (*region.Region, error)) (sdb.Value, error) {
+	a, err := regionFromValue(db, args[0])
+	if err != nil {
+		return sdb.Value{}, err
+	}
+	b, err := regionFromValue(db, args[1])
+	if err != nil {
+		return sdb.Value{}, err
+	}
+	if a.Curve().Kind() != b.Curve().Kind() {
+		if b, err = b.Recode(a.Curve()); err != nil {
+			return sdb.Value{}, err
+		}
+	}
+	out, err := op(a, b)
+	if err != nil {
+		return sdb.Value{}, err
+	}
+	return s.encodeRegionValue(out)
+}
+
+// encodeRegionValue wraps a region as an intermediate BYTES value using
+// the system's storage encoding.
+func (s *System) encodeRegionValue(r *region.Region) (sdb.Value, error) {
+	enc, err := rencode.Encode(s.Cfg.Method, r)
+	if err != nil {
+		return sdb.Value{}, err
+	}
+	return sdb.Bytes(enc), nil
+}
+
+// curveFor returns the system curve matching a region's grid (the
+// system's primary Hilbert curve).
+func (s *System) curveFor(r *region.Region) sfc.Curve {
+	if r.Curve().Kind() == s.Curve.Kind() {
+		return r.Curve()
+	}
+	return s.Curve
+}

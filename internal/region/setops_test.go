@@ -1,0 +1,285 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qbism/internal/sfc"
+)
+
+// randRegion builds a random region on c with up to maxIDs voxels.
+func randRegion(rng *rand.Rand, c sfc.Curve, maxIDs int) *Region {
+	n := rng.Intn(maxIDs)
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = rng.Uint64() % c.Length()
+	}
+	r, err := FromIDs(c, ids)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// refSet converts a region to a map for brute-force reference checks.
+func refSet(r *Region) map[uint64]bool {
+	m := make(map[uint64]bool)
+	r.ForEachID(func(id uint64) bool { m[id] = true; return true })
+	return m
+}
+
+func TestIntersectBasic(t *testing.T) {
+	a, _ := FromRuns(h3, []Run{{0, 10}, {20, 30}})
+	b, _ := FromRuns(h3, []Run{{5, 25}})
+	got, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Run{{5, 10}, {20, 25}}
+	runs := got.Runs()
+	if len(runs) != 2 || runs[0] != want[0] || runs[1] != want[1] {
+		t.Errorf("intersect = %v, want %v", runs, want)
+	}
+}
+
+func TestUnionAdjacentMerges(t *testing.T) {
+	a, _ := FromRuns(h3, []Run{{0, 4}})
+	b, _ := FromRuns(h3, []Run{{5, 9}})
+	got, _ := Union(a, b)
+	if runs := got.Runs(); len(runs) != 1 || runs[0] != (Run{0, 9}) {
+		t.Errorf("union = %v, want [<0,9>]", runs)
+	}
+}
+
+func TestDifferenceSplitsRuns(t *testing.T) {
+	a, _ := FromRuns(h3, []Run{{0, 20}})
+	b, _ := FromRuns(h3, []Run{{5, 7}, {10, 12}})
+	got, _ := Difference(a, b)
+	want := []Run{{0, 4}, {8, 9}, {13, 20}}
+	runs := got.Runs()
+	if len(runs) != len(want) {
+		t.Fatalf("difference = %v, want %v", runs, want)
+	}
+	for i := range runs {
+		if runs[i] != want[i] {
+			t.Errorf("difference[%d] = %v, want %v", i, runs[i], want[i])
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	a, _ := FromRuns(h3, []Run{{0, 100}})
+	b, _ := FromRuns(h3, []Run{{5, 7}, {80, 100}})
+	c, _ := FromRuns(h3, []Run{{5, 101}})
+	if ok, _ := Contains(a, b); !ok {
+		t.Error("a should contain b")
+	}
+	if ok, _ := Contains(a, c); ok {
+		t.Error("a should not contain c")
+	}
+	if ok, _ := Contains(b, a); ok {
+		t.Error("b should not contain a")
+	}
+	if ok, _ := Contains(a, Empty(h3)); !ok {
+		t.Error("everything contains empty")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a, _ := FromRuns(h3, []Run{{0, 10}})
+	b, _ := FromRuns(h3, []Run{{11, 20}})
+	c, _ := FromRuns(h3, []Run{{10, 10}})
+	if ok, _ := Overlaps(a, b); ok {
+		t.Error("disjoint regions reported overlapping")
+	}
+	if ok, _ := Overlaps(a, c); !ok {
+		t.Error("touching regions reported disjoint")
+	}
+}
+
+func TestCurveMismatchErrors(t *testing.T) {
+	a := Full(h3)
+	b := Full(z3)
+	if _, err := Intersect(a, b); err == nil {
+		t.Error("Intersect across curves accepted")
+	}
+	if _, err := Union(a, b); err == nil {
+		t.Error("Union across curves accepted")
+	}
+	if _, err := Difference(a, b); err == nil {
+		t.Error("Difference across curves accepted")
+	}
+	if _, err := Contains(a, b); err == nil {
+		t.Error("Contains across curves accepted")
+	}
+	if _, err := Overlaps(a, b); err == nil {
+		t.Error("Overlaps across curves accepted")
+	}
+	if _, err := IntersectN(a, b); err == nil {
+		t.Error("IntersectN across curves accepted")
+	}
+}
+
+func TestIntersectN(t *testing.T) {
+	if _, err := IntersectN(); err == nil {
+		t.Error("IntersectN() with no args accepted")
+	}
+	a, _ := FromRuns(h3, []Run{{0, 100}})
+	b, _ := FromRuns(h3, []Run{{50, 150}})
+	c, _ := FromRuns(h3, []Run{{60, 70}, {200, 300}})
+	got, err := IntersectN(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := got.Runs(); len(runs) != 1 || runs[0] != (Run{60, 70}) {
+		t.Errorf("IntersectN = %v, want [<60,70>]", runs)
+	}
+	// Early-exit path: empty intermediate with a later curve mismatch
+	// must still error.
+	d := Full(z3)
+	if _, err := IntersectN(a, Empty(h3), d); err == nil {
+		t.Error("IntersectN mismatched curve after empty accepted")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	r, _ := FromRuns(h2, []Run{{3, 9}})
+	comp, err := Complement(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.NumVoxels() != 16-7 {
+		t.Errorf("complement voxels = %d, want 9", comp.NumVoxels())
+	}
+	u, _ := Union(r, comp)
+	if !u.Equal(Full(h2)) {
+		t.Error("r union complement != full grid")
+	}
+	i, _ := Intersect(r, comp)
+	if !i.Empty() {
+		t.Error("r intersect complement not empty")
+	}
+}
+
+// TestSetOpsAgainstReference property-tests all set operations against
+// brute-force map semantics on random regions.
+func TestSetOpsAgainstReference(t *testing.T) {
+	small := sfc.MustNew(sfc.Hilbert, 3, 3) // 512 voxels: cheap reference
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRegion(rng, small, 200)
+		b := randRegion(rng, small, 200)
+		sa, sb := refSet(a), refSet(b)
+
+		inter, _ := Intersect(a, b)
+		uni, _ := Union(a, b)
+		diff, _ := Difference(a, b)
+		for id := uint64(0); id < small.Length(); id++ {
+			if inter.ContainsID(id) != (sa[id] && sb[id]) {
+				return false
+			}
+			if uni.ContainsID(id) != (sa[id] || sb[id]) {
+				return false
+			}
+			if diff.ContainsID(id) != (sa[id] && !sb[id]) {
+				return false
+			}
+		}
+		// Contains consistency.
+		wantContains := true
+		for id := range sb {
+			if !sa[id] {
+				wantContains = false
+				break
+			}
+		}
+		if got, _ := Contains(a, b); got != wantContains {
+			return false
+		}
+		// Overlaps consistency.
+		if got, _ := Overlaps(a, b); got != !inter.Empty() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetAlgebra property-tests algebraic identities: commutativity,
+// idempotence, De Morgan, and absorption.
+func TestSetAlgebra(t *testing.T) {
+	small := sfc.MustNew(sfc.ZOrder, 3, 3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRegion(rng, small, 150)
+		b := randRegion(rng, small, 150)
+
+		ab, _ := Intersect(a, b)
+		ba, _ := Intersect(b, a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		uab, _ := Union(a, b)
+		uba, _ := Union(b, a)
+		if !uab.Equal(uba) {
+			return false
+		}
+		aa, _ := Intersect(a, a)
+		if !aa.Equal(a) {
+			return false
+		}
+		ua, _ := Union(a, a)
+		if !ua.Equal(a) {
+			return false
+		}
+		// De Morgan: comp(a ∪ b) == comp(a) ∩ comp(b)
+		ca, _ := Complement(a)
+		cb, _ := Complement(b)
+		left, _ := Complement(uab)
+		right, _ := Intersect(ca, cb)
+		if !left.Equal(right) {
+			return false
+		}
+		// Absorption: a ∪ (a ∩ b) == a
+		abs, _ := Union(a, ab)
+		if !abs.Equal(a) {
+			return false
+		}
+		// Difference identity: a \ b == a ∩ comp(b)
+		d1, _ := Difference(a, b)
+		d2, _ := Intersect(a, cb)
+		return d1.Equal(d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	c := sfc.MustNew(sfc.Hilbert, 3, 7)
+	x := randRegion(rng, c, 50000)
+	y := randRegion(rng, c, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Intersect(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	c := sfc.MustNew(sfc.Hilbert, 3, 7)
+	x := randRegion(rng, c, 50000)
+	y := randRegion(rng, c, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Union(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

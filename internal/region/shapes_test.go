@@ -1,0 +1,175 @@
+package region
+
+import (
+	"testing"
+
+	"qbism/internal/sfc"
+)
+
+func TestFromBox(t *testing.T) {
+	b := Box{Min: sfc.Pt(2, 3, 4), Max: sfc.Pt(5, 6, 7)}
+	r, err := FromBox(h3, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumVoxels() != b.NumVoxels() {
+		t.Errorf("voxels = %d, want %d", r.NumVoxels(), b.NumVoxels())
+	}
+	// Membership agrees with box geometry everywhere.
+	for id := uint64(0); id < h3.Length(); id += 7 {
+		p := h3.Point(id)
+		if r.ContainsID(id) != b.Contains(p) {
+			t.Fatalf("membership mismatch at %v", p)
+		}
+	}
+}
+
+func TestFromBoxErrors(t *testing.T) {
+	if _, err := FromBox(h3, Box{Min: sfc.Pt(5, 0, 0), Max: sfc.Pt(4, 0, 0)}); err == nil {
+		t.Error("inverted box accepted")
+	}
+	if _, err := FromBox(h3, Box{Min: sfc.Pt(0, 0, 0), Max: sfc.Pt(32, 0, 0)}); err == nil {
+		t.Error("out-of-grid box accepted")
+	}
+	if _, err := FromBox(h2, Box{Min: sfc.Pt(0, 0, 0), Max: sfc.Pt(1, 1, 1)}); err == nil {
+		t.Error("2D box with Z extent accepted")
+	}
+	// Valid 2D box.
+	r, err := FromBox(h2, Box{Min: sfc.Pt(0, 0, 0), Max: sfc.Pt(1, 1, 0)})
+	if err != nil || r.NumVoxels() != 4 {
+		t.Errorf("2D box: %v, %v", r, err)
+	}
+}
+
+func TestFromSphere(t *testing.T) {
+	r, err := FromSphere(h3, 16, 16, 16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Volume should approximate (4/3)πr³ ≈ 905 within 15%.
+	v := float64(r.NumVoxels())
+	if v < 770 || v < 1 || v > 1040 {
+		t.Errorf("sphere voxels = %v, want ≈ 905", v)
+	}
+	if !r.ContainsPoint(sfc.Pt(16, 16, 16)) {
+		t.Error("center not in sphere")
+	}
+	if r.ContainsPoint(sfc.Pt(16, 16, 23)) {
+		t.Error("point at distance 7 inside radius-6 sphere")
+	}
+}
+
+func TestFromEllipsoidErrors(t *testing.T) {
+	if _, err := FromEllipsoid(h3, Ellipsoid{CX: 5, CY: 5, CZ: 5, RX: 0, RY: 1, RZ: 1}); err == nil {
+		t.Error("zero semi-axis accepted")
+	}
+}
+
+func TestFromEllipsoidClamped(t *testing.T) {
+	// Ellipsoid sticking out of the grid is clamped, not an error.
+	r, err := FromEllipsoid(h3, Ellipsoid{CX: 0, CY: 0, CZ: 0, RX: 10, RY: 10, RZ: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Empty() || !r.ContainsPoint(sfc.Pt(0, 0, 0)) {
+		t.Error("clamped ellipsoid missing origin octant")
+	}
+}
+
+func TestFromBoxes(t *testing.T) {
+	r, err := FromBoxes(h3, []Box{
+		{Min: sfc.Pt(0, 0, 0), Max: sfc.Pt(1, 1, 1)},
+		{Min: sfc.Pt(1, 1, 1), Max: sfc.Pt(2, 2, 2)}, // overlaps at (1,1,1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumVoxels() != 8+8-1 {
+		t.Errorf("union voxels = %d, want 15", r.NumVoxels())
+	}
+	if _, err := FromBoxes(h3, []Box{{Min: sfc.Pt(9, 0, 0), Max: sfc.Pt(3, 0, 0)}}); err == nil {
+		t.Error("bad box in FromBoxes accepted")
+	}
+}
+
+func TestMergeGaps(t *testing.T) {
+	r, _ := FromRuns(h3, []Run{{0, 4}, {7, 9}, {20, 22}})
+	// Gaps: 2 (ids 5-6) and 10 (ids 10-19).
+	m := r.MergeGaps(3)
+	if runs := m.Runs(); len(runs) != 2 || runs[0] != (Run{0, 9}) {
+		t.Errorf("MergeGaps(3) = %v", runs)
+	}
+	m2 := r.MergeGaps(11)
+	if runs := m2.Runs(); len(runs) != 1 || runs[0] != (Run{0, 22}) {
+		t.Errorf("MergeGaps(11) = %v", runs)
+	}
+	if r.MergeGaps(1) != r || r.MergeGaps(0) != r {
+		t.Error("mingap<=1 should return receiver")
+	}
+	// Result is a superset.
+	if ok, _ := Contains(m, r); !ok {
+		t.Error("merged region does not contain original")
+	}
+}
+
+func TestCoarsenOctants(t *testing.T) {
+	r, _ := FromIDs(h3, []uint64{9}) // single voxel
+	c, err := r.CoarsenOctants(2)    // blocks of 2^3 = 8 ids
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := c.Runs(); len(runs) != 1 || runs[0] != (Run{8, 15}) {
+		t.Errorf("CoarsenOctants(2) = %v, want [<8,15>]", runs)
+	}
+	if ok, _ := Contains(c, r); !ok {
+		t.Error("coarsened region does not contain original")
+	}
+	if _, err := r.CoarsenOctants(3); err == nil {
+		t.Error("non-power-of-two G accepted")
+	}
+	if _, err := r.CoarsenOctants(64); err == nil {
+		t.Error("G larger than grid accepted")
+	}
+	same, err := r.CoarsenOctants(1)
+	if err != nil || same != r {
+		t.Error("G=1 should return receiver")
+	}
+}
+
+func TestApproxError(t *testing.T) {
+	r, _ := FromRuns(h3, []Run{{0, 7}})
+	a, _ := FromRuns(h3, []Run{{0, 15}})
+	extra, inflation, err := ApproxError(r, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra != 8 || inflation != 2.0 {
+		t.Errorf("ApproxError = %d, %v; want 8, 2.0", extra, inflation)
+	}
+	extra, inflation, err = ApproxError(Empty(h3), a)
+	if err != nil || extra != 16 || inflation != 0 {
+		t.Errorf("empty exact: %d %v %v", extra, inflation, err)
+	}
+	if _, _, err := ApproxError(Full(h3), Full(z3)); err == nil {
+		t.Error("curve mismatch accepted")
+	}
+}
+
+// TestHilbertFewerRunsThanZ reproduces the paper's qualitative claim on
+// a geometric shape: the Hilbert encoding of a sphere needs fewer runs
+// than the Z encoding.
+func TestHilbertFewerRunsThanZ(t *testing.T) {
+	hr, err := FromSphere(h3, 15, 15, 15, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := hr.Recode(z3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.NumRuns() >= zr.NumRuns() {
+		t.Errorf("h-runs = %d not fewer than z-runs = %d", hr.NumRuns(), zr.NumRuns())
+	}
+	t.Logf("sphere r=9: h-runs=%d z-runs=%d ratio=%.2f",
+		hr.NumRuns(), zr.NumRuns(), float64(zr.NumRuns())/float64(hr.NumRuns()))
+}

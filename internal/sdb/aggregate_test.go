@@ -1,0 +1,251 @@
+package sdb
+
+import (
+	"testing"
+
+	"qbism/internal/lfm"
+)
+
+func statsDB(t *testing.T) *DB {
+	t.Helper()
+	m, _ := lfm.New(1<<18, 4096)
+	db := NewDB(m)
+	db.MustExec(`create table study (id int, patientId int, modality string, voxels int, mean float)`)
+	db.MustExec(`insert into study values
+		(1, 1, 'PET', 100, 50.0),
+		(2, 1, 'PET', 200, 70.0),
+		(3, 2, 'PET', 300, 60.0),
+		(4, 2, 'MRI', 400, 90.0),
+		(5, 3, 'MRI', 500, 80.0)`)
+	return db
+}
+
+func TestCountStar(t *testing.T) {
+	db := statsDB(t)
+	res := db.MustExec(`select count(*) from study`)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 5 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	res = db.MustExec(`select count(*) from study where modality = 'PET'`)
+	if res.Rows[0][0].I != 3 {
+		t.Errorf("PET count = %v", res.Rows[0][0])
+	}
+}
+
+func TestGrandAggregates(t *testing.T) {
+	db := statsDB(t)
+	res := db.MustExec(`select sum(voxels), avg(mean), min(voxels), max(voxels), count(id) from study`)
+	row := res.Rows[0]
+	if row[0].I != 1500 {
+		t.Errorf("sum = %v", row[0])
+	}
+	if row[1].F != 70 {
+		t.Errorf("avg = %v", row[1])
+	}
+	if row[2].I != 100 || row[3].I != 500 {
+		t.Errorf("min/max = %v/%v", row[2], row[3])
+	}
+	if row[4].I != 5 {
+		t.Errorf("count = %v", row[4])
+	}
+}
+
+func TestAggregateOverEmptyInput(t *testing.T) {
+	db := statsDB(t)
+	res := db.MustExec(`select count(*), sum(voxels), min(mean) from study where id > 99`)
+	row := res.Rows[0]
+	if row[0].I != 0 {
+		t.Errorf("count over empty = %v", row[0])
+	}
+	if !row[1].IsNull() || !row[2].IsNull() {
+		t.Errorf("sum/min over empty = %v/%v, want NULLs", row[1], row[2])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := statsDB(t)
+	res := db.MustExec(`select modality, count(*), sum(voxels) from study group by modality order by modality`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	// MRI sorts before PET.
+	if res.Rows[0][0].S != "MRI" || res.Rows[0][1].I != 2 || res.Rows[0][2].I != 900 {
+		t.Errorf("MRI row = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].S != "PET" || res.Rows[1][1].I != 3 || res.Rows[1][2].I != 600 {
+		t.Errorf("PET row = %v", res.Rows[1])
+	}
+}
+
+func TestGroupByMultipleKeys(t *testing.T) {
+	db := statsDB(t)
+	res := db.MustExec(`select patientId, modality, count(*) from study
+		group by patientId, modality order by patientId, modality`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d: %v", len(res.Rows), res.Rows)
+	}
+	// patient 1 PET x2; patient 2 MRI, PET; patient 3 MRI.
+	if res.Rows[0][0].I != 1 || res.Rows[0][1].S != "PET" || res.Rows[0][2].I != 2 {
+		t.Errorf("first group = %v", res.Rows[0])
+	}
+}
+
+func TestAggregateArithmetic(t *testing.T) {
+	db := statsDB(t)
+	res := db.MustExec(`select max(voxels) - min(voxels), count(*) * 2 from study`)
+	if res.Rows[0][0].I != 400 || res.Rows[0][1].I != 10 {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestOrderByPlain(t *testing.T) {
+	db := statsDB(t)
+	res := db.MustExec(`select id from study order by mean desc`)
+	want := []int64{4, 5, 2, 3, 1}
+	for i, w := range want {
+		if res.Rows[i][0].I != w {
+			t.Fatalf("order = %v, want %v", res.Rows, want)
+		}
+	}
+	// Secondary key breaks ties; ascending default.
+	db.MustExec(`insert into study values (6, 3, 'MRI', 500, 80.0)`)
+	res = db.MustExec(`select id from study order by voxels desc, id desc limit 2`)
+	if res.Rows[0][0].I != 6 || res.Rows[1][0].I != 5 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestOrderByExpressionNotInSelect(t *testing.T) {
+	db := statsDB(t)
+	res := db.MustExec(`select modality from study order by voxels limit 1`)
+	if res.Rows[0][0].S != "PET" { // study 1 has fewest voxels
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestLimit(t *testing.T) {
+	db := statsDB(t)
+	res := db.MustExec(`select id from study limit 2`)
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	res = db.MustExec(`select id from study limit 0`)
+	if len(res.Rows) != 0 {
+		t.Errorf("limit 0 rows = %d", len(res.Rows))
+	}
+	res = db.MustExec(`select id from study limit 99`)
+	if len(res.Rows) != 5 {
+		t.Errorf("limit 99 rows = %d", len(res.Rows))
+	}
+}
+
+func TestOrderByAggregate(t *testing.T) {
+	db := statsDB(t)
+	res := db.MustExec(`select patientId, sum(voxels) from study group by patientId order by sum(voxels) desc`)
+	if res.Rows[0][0].I != 2 || res.Rows[0][1].I != 700 {
+		t.Errorf("top group = %v", res.Rows[0])
+	}
+	if res.Rows[2][0].I != 1 {
+		t.Errorf("last group = %v", res.Rows[2])
+	}
+}
+
+func TestGroupByPermissiveNonAggregated(t *testing.T) {
+	// Non-aggregated, non-grouped columns take the group's first row
+	// (documented permissive semantics).
+	db := statsDB(t)
+	res := db.MustExec(`select modality, id from study group by modality order by modality`)
+	if res.Rows[0][0].S != "MRI" || res.Rows[0][1].I != 4 {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	db := statsDB(t)
+	bad := []string{
+		`select count(*) from study where count(*) > 1`, // aggregate in WHERE
+		`select sum(modality) from study`,               // sum over strings
+		`select sum(voxels, mean) from study`,           // arity
+		`select count(count(*)) from study`,             // nested
+		`select * from study group by modality`,         // * with grouping
+		`select voxels + * from study`,                  // bare star
+		`select id from study limit -1`,
+		`select id from study order by`,
+		`select id from study group by`,
+		`select min(data) from t2`, // unknown table still errors cleanly
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("accepted: %s", sql)
+		}
+	}
+}
+
+func TestMinMaxStrings(t *testing.T) {
+	db := statsDB(t)
+	res := db.MustExec(`select min(modality), max(modality) from study`)
+	if res.Rows[0][0].S != "MRI" || res.Rows[0][1].S != "PET" {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestAvgMixedIntFloat(t *testing.T) {
+	db := statsDB(t)
+	db.MustExec(`create table t (v float)`)
+	db.MustExec(`insert into t values (1), (2.5)`)
+	res := db.MustExec(`select sum(v), avg(v) from t`)
+	if res.Rows[0][0].F != 3.5 || res.Rows[0][1].F != 1.75 {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestCountIgnoresNulls(t *testing.T) {
+	db := statsDB(t)
+	db.MustExec(`create table n (v int)`)
+	db.MustExec(`insert into n values (1), (null), (3)`)
+	res := db.MustExec(`select count(v), count(*), sum(v) from n`)
+	if res.Rows[0][0].I != 2 || res.Rows[0][1].I != 3 || res.Rows[0][2].I != 4 {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestOrderByNullsFirst(t *testing.T) {
+	db := statsDB(t)
+	db.MustExec(`create table n (id int, v int)`)
+	db.MustExec(`insert into n values (1, 5), (2, null), (3, 1)`)
+	res := db.MustExec(`select id from n order by v`)
+	if res.Rows[0][0].I != 2 || res.Rows[1][0].I != 3 || res.Rows[2][0].I != 1 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	res = db.MustExec(`select id from n order by v desc`)
+	if res.Rows[2][0].I != 2 {
+		t.Errorf("desc rows = %v", res.Rows)
+	}
+}
+
+func TestAggregatesOverJoin(t *testing.T) {
+	db := statsDB(t)
+	db.MustExec(`create table patient (patientId int, name string)`)
+	db.MustExec(`insert into patient values (1,'A'),(2,'B'),(3,'C')`)
+	res := db.MustExec(`
+		select p.name, count(*), avg(s.mean)
+		from study s, patient p
+		where s.patientId = p.patientId
+		group by p.name
+		order by p.name`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].S != "A" || res.Rows[0][1].I != 2 || res.Rows[0][2].F != 60 {
+		t.Errorf("A row = %v", res.Rows[0])
+	}
+}
+
+func TestUnorderableOrderBy(t *testing.T) {
+	db := statsDB(t)
+	db.MustExec(`create table mix (id int, b bool)`)
+	db.MustExec(`insert into mix values (1, true), (2, false)`)
+	if _, err := db.Exec(`select id from mix order by b`); err == nil {
+		t.Error("ordering booleans accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package sdb
+
+// AST node definitions for the SQL subset.
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is SELECT exprs FROM tables [WHERE cond]
+// [GROUP BY exprs] [ORDER BY items] [LIMIT n].
+type SelectStmt struct {
+	Exprs   []SelectItem
+	From    []TableRef
+	Where   Expr // nil when absent
+	GroupBy []Expr
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectItem is one select-list entry; Star means "*".
+type SelectItem struct {
+	Star bool
+	Expr Expr
+}
+
+// TableRef is "table [alias]".
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// InsertStmt is INSERT INTO table [(cols)] VALUES (tuple), ...
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means all, in schema order
+	Rows    [][]Expr // constant expressions
+}
+
+// CreateTableStmt is CREATE TABLE name (col type, ...).
+type CreateTableStmt struct {
+	Name    string
+	Columns []Column
+}
+
+// DeleteStmt is DELETE FROM table [WHERE cond].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// UpdateStmt is UPDATE table SET col = expr, ... [WHERE cond].
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET column = expr clause.
+type Assignment struct {
+	Column string
+	Expr   Expr
+}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*DeleteStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+
+// Expr is any expression node.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct {
+	Val Value
+}
+
+// ColumnRef is a possibly qualified column reference: [Qualifier.]Name.
+type ColumnRef struct {
+	Qualifier string // alias or table name; "" if unqualified
+	Name      string
+}
+
+// BinaryExpr is a binary operation. Op is one of
+// = <> < > <= >= + - * / % AND OR.
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryExpr is NOT x or -x.
+type UnaryExpr struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+// FuncCall invokes a user-defined SQL function or a built-in aggregate
+// (COUNT, SUM, AVG, MIN, MAX).
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// StarExpr is the "*" inside COUNT(*).
+type StarExpr struct{}
+
+func (*Literal) expr()    {}
+func (*ColumnRef) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*FuncCall) expr()   {}
+func (*StarExpr) expr()   {}

@@ -1,0 +1,142 @@
+package sdb
+
+import (
+	"fmt"
+	"strings"
+
+	"qbism/internal/lfm"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Table holds a schema and its rows. Row storage is a plain heap — the
+// paper's experiments deliberately create no indexes ("We did not create
+// indexes on any of the relation columns").
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    [][]Value
+
+	colIndex map[string]int
+}
+
+// ColumnIndex returns the position of the named column (case-insensitive)
+// or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIndex[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// DB is a database instance: a catalog of tables, a user-defined
+// function registry, and the long field manager large objects live in.
+type DB struct {
+	tables map[string]*Table
+	udfs   map[string]*UDF
+	lfm    *lfm.Manager
+}
+
+// NewDB creates an empty database backed by the given long field
+// manager (which may be nil if no LONG columns or spatial UDFs are used).
+func NewDB(m *lfm.Manager) *DB {
+	return &DB{
+		tables: make(map[string]*Table),
+		udfs:   make(map[string]*UDF),
+		lfm:    m,
+	}
+}
+
+// LFM returns the long field manager, or nil.
+func (db *DB) LFM() *lfm.Manager { return db.lfm }
+
+// Table looks up a table by name (case-insensitive).
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sdb: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the catalog's table names (unsorted).
+func (db *DB) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	return names
+}
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("sdb: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("sdb: table %q needs at least one column", name)
+	}
+	t := &Table{Name: name, Columns: cols, colIndex: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if _, dup := t.colIndex[lc]; dup {
+			return nil, fmt.Errorf("sdb: duplicate column %q in table %q", c.Name, name)
+		}
+		t.colIndex[lc] = i
+	}
+	db.tables[key] = t
+	return t, nil
+}
+
+// InsertRow appends a row to a table after type-coercing each value
+// against the schema.
+func (db *DB) InsertRow(tableName string, vals []Value) error {
+	t, err := db.Table(tableName)
+	if err != nil {
+		return err
+	}
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("sdb: table %q has %d columns, got %d values", t.Name, len(t.Columns), len(vals))
+	}
+	row := make([]Value, len(vals))
+	for i, v := range vals {
+		cv, err := v.coerceTo(t.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("sdb: column %q: %v", t.Columns[i].Name, err)
+		}
+		row[i] = cv
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// RegisterUDF adds a user-defined SQL function to the database — the
+// Starburst extensibility hook the paper's spatial operators use.
+// Names are case-insensitive; re-registration replaces.
+func (db *DB) RegisterUDF(u *UDF) error {
+	if u.Name == "" || u.Fn == nil {
+		return fmt.Errorf("sdb: UDF needs a name and a function")
+	}
+	db.udfs[strings.ToLower(u.Name)] = u
+	return nil
+}
+
+// UDF is a user-defined SQL function. Fn receives the database (for
+// long-field access) and the evaluated arguments.
+type UDF struct {
+	Name    string
+	MinArgs int
+	MaxArgs int // -1 for variadic
+	Fn      func(db *DB, args []Value) (Value, error)
+}
+
+// lookupUDF finds a registered function by name.
+func (db *DB) lookupUDF(name string) (*UDF, bool) {
+	u, ok := db.udfs[strings.ToLower(name)]
+	return u, ok
+}

@@ -1,0 +1,235 @@
+package sdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// frame binds one FROM-clause table alias to a current row during
+// evaluation.
+type frame struct {
+	alias string
+	table *Table
+	row   []Value
+}
+
+// env is the evaluation environment: the bound frames, in join order.
+type env struct {
+	db     *DB
+	frames []frame
+}
+
+// lookupColumn resolves a (possibly qualified) column reference against
+// the bound frames.
+func (e *env) lookupColumn(ref *ColumnRef) (Value, error) {
+	if ref.Qualifier != "" {
+		for _, f := range e.frames {
+			if strings.EqualFold(f.alias, ref.Qualifier) {
+				idx := f.table.ColumnIndex(ref.Name)
+				if idx < 0 {
+					return Value{}, fmt.Errorf("sdb: table %q has no column %q", f.alias, ref.Name)
+				}
+				return f.row[idx], nil
+			}
+		}
+		return Value{}, fmt.Errorf("sdb: unknown table alias %q", ref.Qualifier)
+	}
+	found := -1
+	var val Value
+	for _, f := range e.frames {
+		if idx := f.table.ColumnIndex(ref.Name); idx >= 0 {
+			if found >= 0 {
+				return Value{}, fmt.Errorf("sdb: ambiguous column %q", ref.Name)
+			}
+			found = 0
+			val = f.row[idx]
+		}
+	}
+	if found < 0 {
+		return Value{}, fmt.Errorf("sdb: unknown column %q", ref.Name)
+	}
+	return val, nil
+}
+
+// eval evaluates an expression in the environment.
+func (e *env) eval(x Expr) (Value, error) {
+	switch n := x.(type) {
+	case *Literal:
+		return n.Val, nil
+	case *ColumnRef:
+		return e.lookupColumn(n)
+	case *UnaryExpr:
+		v, err := e.eval(n.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.Op {
+		case "NOT":
+			if v.T != TBool {
+				return Value{}, fmt.Errorf("sdb: NOT applied to %s", v.T)
+			}
+			return Bool(!v.B), nil
+		case "-":
+			switch v.T {
+			case TInt:
+				return Int(-v.I), nil
+			case TFloat:
+				return Float(-v.F), nil
+			default:
+				return Value{}, fmt.Errorf("sdb: unary minus applied to %s", v.T)
+			}
+		default:
+			return Value{}, fmt.Errorf("sdb: unknown unary operator %q", n.Op)
+		}
+	case *BinaryExpr:
+		return e.evalBinary(n)
+	case *FuncCall:
+		u, ok := e.db.lookupUDF(n.Name)
+		if !ok {
+			return Value{}, fmt.Errorf("sdb: unknown function %q", n.Name)
+		}
+		if len(n.Args) < u.MinArgs || (u.MaxArgs >= 0 && len(n.Args) > u.MaxArgs) {
+			return Value{}, fmt.Errorf("sdb: function %q called with %d args", u.Name, len(n.Args))
+		}
+		args := make([]Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := e.eval(a)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		out, err := u.Fn(e.db, args)
+		if err != nil {
+			return Value{}, fmt.Errorf("sdb: function %q: %w", u.Name, err)
+		}
+		return out, nil
+	default:
+		return Value{}, fmt.Errorf("sdb: cannot evaluate %T", x)
+	}
+}
+
+func (e *env) evalBinary(n *BinaryExpr) (Value, error) {
+	// AND short-circuits so predicate chains stay cheap.
+	if n.Op == "AND" || n.Op == "OR" {
+		l, err := e.eval(n.Left)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.T != TBool {
+			return Value{}, fmt.Errorf("sdb: %s operand is %s, not BOOL", n.Op, l.T)
+		}
+		if n.Op == "AND" && !l.B {
+			return Bool(false), nil
+		}
+		if n.Op == "OR" && l.B {
+			return Bool(true), nil
+		}
+		r, err := e.eval(n.Right)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.T != TBool {
+			return Value{}, fmt.Errorf("sdb: %s operand is %s, not BOOL", n.Op, r.T)
+		}
+		return r, nil
+	}
+
+	l, err := e.eval(n.Left)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := e.eval(n.Right)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Op {
+	case "=":
+		return Bool(l.Equal(r)), nil
+	case "<>":
+		if l.IsNull() || r.IsNull() {
+			return Bool(false), nil
+		}
+		return Bool(!l.Equal(r)), nil
+	case "<":
+		less, err := l.Less(r)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(less), nil
+	case ">":
+		less, err := r.Less(l)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(less), nil
+	case "<=":
+		more, err := r.Less(l)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(!more), nil
+	case ">=":
+		less, err := l.Less(r)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(!less), nil
+	case "+", "-", "*", "/", "%":
+		return arith(n.Op, l, r)
+	default:
+		return Value{}, fmt.Errorf("sdb: unknown operator %q", n.Op)
+	}
+}
+
+// arith performs arithmetic with int/float promotion; two ints stay int.
+func arith(op string, l, r Value) (Value, error) {
+	if l.T == TInt && r.T == TInt {
+		switch op {
+		case "+":
+			return Int(l.I + r.I), nil
+		case "-":
+			return Int(l.I - r.I), nil
+		case "*":
+			return Int(l.I * r.I), nil
+		case "/":
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("sdb: division by zero")
+			}
+			return Int(l.I / r.I), nil
+		case "%":
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("sdb: division by zero")
+			}
+			return Int(l.I % r.I), nil
+		}
+	}
+	lf, lok := l.numeric()
+	rf, rok := r.numeric()
+	if !lok || !rok {
+		return Value{}, fmt.Errorf("sdb: arithmetic on %s and %s", l.T, r.T)
+	}
+	switch op {
+	case "+":
+		return Float(lf + rf), nil
+	case "-":
+		return Float(lf - rf), nil
+	case "*":
+		return Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return Value{}, fmt.Errorf("sdb: division by zero")
+		}
+		return Float(lf / rf), nil
+	case "%":
+		return Value{}, fmt.Errorf("sdb: %% requires integers")
+	}
+	return Value{}, fmt.Errorf("sdb: unknown arithmetic operator %q", op)
+}
+
+// constEval evaluates an expression with no table context (for INSERT
+// values).
+func constEval(db *DB, x Expr) (Value, error) {
+	e := &env{db: db}
+	return e.eval(x)
+}

@@ -1,0 +1,745 @@
+package sdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the output of a statement: column labels and rows. For
+// non-SELECT statements Rows is nil and Affected counts changed rows.
+type Result struct {
+	Columns  []string
+	Rows     [][]Value
+	Affected int
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// MustExec is Exec but panics on error; for loaders and tests.
+func (db *DB) MustExec(sql string) *Result {
+	res, err := db.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ExecStmt executes a parsed statement.
+func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		if _, err := db.CreateTable(s.Name, s.Columns); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *InsertStmt:
+		return db.execInsert(s)
+	case *SelectStmt:
+		return db.execSelect(s)
+	case *DeleteStmt:
+		return db.execDelete(s)
+	case *UpdateStmt:
+		return db.execUpdate(s)
+	case *ExplainStmt:
+		sel, ok := s.Stmt.(*SelectStmt)
+		if !ok {
+			return nil, fmt.Errorf("sdb: EXPLAIN supports only SELECT")
+		}
+		return db.explainSelect(sel)
+	default:
+		return nil, fmt.Errorf("sdb: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map the column list (or schema order) to positions.
+	positions := make([]int, 0, len(t.Columns))
+	if len(s.Columns) == 0 {
+		for i := range t.Columns {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			idx := t.ColumnIndex(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("sdb: table %q has no column %q", t.Name, name)
+			}
+			positions = append(positions, idx)
+		}
+	}
+	n := 0
+	for _, rowExprs := range s.Rows {
+		if len(rowExprs) != len(positions) {
+			return nil, fmt.Errorf("sdb: INSERT row has %d values, want %d", len(rowExprs), len(positions))
+		}
+		row := make([]Value, len(t.Columns))
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, x := range rowExprs {
+			v, err := constEval(db, x)
+			if err != nil {
+				return nil, err
+			}
+			row[positions[i]] = v
+		}
+		if err := db.InsertRow(t.Name, row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	kept := t.Rows[:0]
+	deleted := 0
+	for _, row := range t.Rows {
+		match := true
+		if s.Where != nil {
+			e := &env{db: db, frames: []frame{{alias: t.Name, table: t, row: row}}}
+			v, err := e.eval(s.Where)
+			if err != nil {
+				return nil, err
+			}
+			if v.T != TBool {
+				return nil, fmt.Errorf("sdb: WHERE clause is %s, not BOOL", v.T)
+			}
+			match = v.B
+		}
+		if match {
+			deleted++
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	t.Rows = kept
+	return &Result{Affected: deleted}, nil
+}
+
+func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	updated := 0
+	for ri, row := range t.Rows {
+		e := &env{db: db, frames: []frame{{alias: t.Name, table: t, row: row}}}
+		if s.Where != nil {
+			v, err := e.eval(s.Where)
+			if err != nil {
+				return nil, err
+			}
+			if v.T != TBool {
+				return nil, fmt.Errorf("sdb: WHERE clause is %s, not BOOL", v.T)
+			}
+			if !v.B {
+				continue
+			}
+		}
+		newRow := make([]Value, len(row))
+		copy(newRow, row)
+		for _, asg := range s.Set {
+			idx := t.ColumnIndex(asg.Column)
+			if idx < 0 {
+				return nil, fmt.Errorf("sdb: table %q has no column %q", t.Name, asg.Column)
+			}
+			v, err := e.eval(asg.Expr)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := v.coerceTo(t.Columns[idx].Type)
+			if err != nil {
+				return nil, err
+			}
+			newRow[idx] = cv
+		}
+		t.Rows[ri] = newRow
+		updated++
+	}
+	return &Result{Affected: updated}, nil
+}
+
+// conjunct is one AND-term of the WHERE clause plus the aliases it
+// references, for predicate pushdown.
+type conjunct struct {
+	expr    Expr
+	aliases map[string]bool
+}
+
+// source is one bound FROM-clause entry.
+type source struct {
+	alias string
+	table *Table
+}
+
+// selectPlan is the compiled form of a SELECT: bound tables in join
+// order, conjuncts assigned to their earliest applicable level, the
+// aggregate calls to accumulate, and the output column labels.
+type selectPlan struct {
+	ordered    []source
+	levelConj  [][]Expr
+	aggCalls   []*FuncCall
+	aggregated bool
+	columns    []string
+}
+
+// planSelect resolves, validates, and plans a SELECT statement.
+func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
+	if len(s.From) == 0 {
+		return nil, fmt.Errorf("sdb: SELECT without FROM")
+	}
+	sources := make([]source, 0, len(s.From))
+	byAlias := make(map[string]*Table)
+	for _, ref := range s.From {
+		t, err := db.Table(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		key := strings.ToLower(ref.Alias)
+		if _, dup := byAlias[key]; dup {
+			return nil, fmt.Errorf("sdb: duplicate table alias %q", ref.Alias)
+		}
+		byAlias[key] = t
+		sources = append(sources, source{alias: ref.Alias, table: t})
+	}
+
+	// Capture display labels before resolution rewrites qualifiers.
+	labels := make([]string, len(s.Exprs))
+	for i, item := range s.Exprs {
+		if !item.Star {
+			labels[i] = exprLabel(item.Expr)
+		}
+	}
+
+	// Resolve unqualified column references so conjunct alias sets are
+	// exact, then split the WHERE into conjuncts.
+	resolve := func(x Expr) error { return resolveColumns(x, sources2map(sources)) }
+	for _, item := range s.Exprs {
+		if !item.Star {
+			if err := resolve(item.Expr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var conjuncts []conjunct
+	if s.Where != nil {
+		if err := resolve(s.Where); err != nil {
+			return nil, err
+		}
+		var aggCheck []*FuncCall
+		if err := collectAggregates(s.Where, &aggCheck, false); err != nil {
+			return nil, err
+		}
+		if len(aggCheck) > 0 {
+			return nil, fmt.Errorf("sdb: aggregates are not allowed in WHERE")
+		}
+		for _, c := range splitConjuncts(s.Where) {
+			conjuncts = append(conjuncts, conjunct{expr: c, aliases: exprAliases(c)})
+		}
+	}
+	for _, g := range s.GroupBy {
+		if err := resolve(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, oi := range s.OrderBy {
+		if err := resolve(oi.Expr); err != nil {
+			return nil, err
+		}
+	}
+
+	// Detect aggregation and collect the aggregate calls to accumulate.
+	var aggCalls []*FuncCall
+	for _, item := range s.Exprs {
+		if !item.Star {
+			if err := collectAggregates(item.Expr, &aggCalls, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, oi := range s.OrderBy {
+		if err := collectAggregates(oi.Expr, &aggCalls, false); err != nil {
+			return nil, err
+		}
+	}
+	aggregated := len(aggCalls) > 0 || len(s.GroupBy) > 0
+
+	// Join order: greedy — start from the FROM order but always prefer
+	// the table that binds the most not-yet-applied conjuncts next
+	// (single-table filters first, then join-connected tables). This is
+	// a poor man's version of Starburst's join enumeration, enough to
+	// avoid pathological cross products on the paper's queries.
+	order := planOrder(sources2aliases(sources), conjuncts)
+	ordered := make([]source, 0, len(sources))
+	for _, a := range order {
+		for _, src := range sources {
+			if strings.EqualFold(src.alias, a) {
+				ordered = append(ordered, src)
+			}
+		}
+	}
+
+	// Assign each conjunct to the earliest level where it is fully bound.
+	levelConj := make([][]Expr, len(ordered))
+	for _, c := range conjuncts {
+		level := 0
+		remaining := len(c.aliases)
+		for li, src := range ordered {
+			if c.aliases[strings.ToLower(src.alias)] {
+				remaining--
+				if remaining == 0 {
+					level = li
+					break
+				}
+			}
+		}
+		levelConj[level] = append(levelConj[level], c.expr)
+	}
+
+	// Result columns.
+	var columns []string
+	for i, item := range s.Exprs {
+		if item.Star {
+			for _, src := range ordered {
+				for _, col := range src.table.Columns {
+					columns = append(columns, src.alias+"."+col.Name)
+				}
+			}
+		} else {
+			columns = append(columns, labels[i])
+		}
+	}
+
+	if aggregated {
+		for _, item := range s.Exprs {
+			if item.Star {
+				return nil, fmt.Errorf("sdb: SELECT * cannot be combined with aggregates or GROUP BY")
+			}
+		}
+	}
+
+	return &selectPlan{
+		ordered:    ordered,
+		levelConj:  levelConj,
+		aggCalls:   aggCalls,
+		aggregated: aggregated,
+		columns:    columns,
+	}, nil
+}
+
+func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
+	plan, err := db.planSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	ordered := plan.ordered
+	levelConj := plan.levelConj
+	aggCalls := plan.aggCalls
+	aggregated := plan.aggregated
+	columns := plan.columns
+
+	res := &Result{Columns: columns}
+	e := &env{db: db, frames: make([]frame, 0, len(ordered))}
+	var sortKeys [][]Value // parallel to res.Rows when ORDER BY present
+
+	// Aggregation state (used only when aggregated).
+	groups := make(map[string]*group)
+	var groupOrder []string
+
+	// onRow handles one fully bound row.
+	onRow := func() error {
+		if aggregated {
+			keyVals := make([]Value, len(s.GroupBy))
+			for i, g := range s.GroupBy {
+				v, err := e.eval(g)
+				if err != nil {
+					return err
+				}
+				keyVals[i] = v
+			}
+			key := groupKey(keyVals)
+			grp, ok := groups[key]
+			if !ok {
+				grp = &group{frames: append([]frame(nil), e.frames...)}
+				for _, c := range aggCalls {
+					grp.aggs = append(grp.aggs, newAggState(strings.ToLower(c.Name)))
+				}
+				groups[key] = grp
+				groupOrder = append(groupOrder, key)
+			}
+			for i, c := range aggCalls {
+				if _, star := c.Args[0].(*StarExpr); star {
+					if err := grp.aggs[i].update(Value{}, true); err != nil {
+						return err
+					}
+					continue
+				}
+				v, err := e.eval(c.Args[0])
+				if err != nil {
+					return err
+				}
+				if err := grp.aggs[i].update(v, false); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		out := make([]Value, 0, len(columns))
+		for _, item := range s.Exprs {
+			if item.Star {
+				for _, f := range e.frames {
+					out = append(out, f.row...)
+				}
+				continue
+			}
+			v, err := e.eval(item.Expr)
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+		if len(s.OrderBy) > 0 {
+			keys := make([]Value, len(s.OrderBy))
+			for i, oi := range s.OrderBy {
+				v, err := e.eval(oi.Expr)
+				if err != nil {
+					return err
+				}
+				keys[i] = v
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+		return nil
+	}
+
+	var recurse func(level int) error
+	recurse = func(level int) error {
+		if level == len(ordered) {
+			return onRow()
+		}
+		src := ordered[level]
+		for _, row := range src.table.Rows {
+			e.frames = append(e.frames, frame{alias: src.alias, table: src.table, row: row})
+			ok := true
+			for _, pred := range levelConj[level] {
+				v, err := e.eval(pred)
+				if err != nil {
+					e.frames = e.frames[:len(e.frames)-1]
+					return err
+				}
+				if v.T != TBool {
+					e.frames = e.frames[:len(e.frames)-1]
+					return fmt.Errorf("sdb: WHERE conjunct is %s, not BOOL", v.T)
+				}
+				if !v.B {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if err := recurse(level + 1); err != nil {
+					e.frames = e.frames[:len(e.frames)-1]
+					return err
+				}
+			}
+			e.frames = e.frames[:len(e.frames)-1]
+		}
+		return nil
+	}
+	if err := recurse(0); err != nil {
+		return nil, err
+	}
+
+	if aggregated {
+		// A grand aggregate over zero rows still yields one row.
+		if len(groupOrder) == 0 && len(s.GroupBy) == 0 {
+			grp := &group{}
+			for _, c := range aggCalls {
+				grp.aggs = append(grp.aggs, newAggState(strings.ToLower(c.Name)))
+			}
+			groups[""] = grp
+			groupOrder = append(groupOrder, "")
+		}
+		for _, key := range groupOrder {
+			grp := groups[key]
+			genv := &env{db: db, frames: grp.frames}
+			aggVals := make([]Value, len(aggCalls))
+			for i, a := range grp.aggs {
+				aggVals[i] = a.value()
+			}
+			out := make([]Value, 0, len(columns))
+			for _, item := range s.Exprs {
+				v, err := genv.evalWithAggregates(item.Expr, aggCalls, aggVals)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			}
+			res.Rows = append(res.Rows, out)
+			if len(s.OrderBy) > 0 {
+				keys := make([]Value, len(s.OrderBy))
+				for i, oi := range s.OrderBy {
+					v, err := genv.evalWithAggregates(oi.Expr, aggCalls, aggVals)
+					if err != nil {
+						return nil, err
+					}
+					keys[i] = v
+				}
+				sortKeys = append(sortKeys, keys)
+			}
+		}
+	}
+
+	if len(s.OrderBy) > 0 {
+		if err := sortRows(res.Rows, sortKeys, s.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if s.Limit >= 0 && len(res.Rows) > s.Limit {
+		res.Rows = res.Rows[:s.Limit]
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
+}
+
+// sortRows stably sorts rows by their precomputed ORDER BY keys. NULLs
+// sort first; unorderable key pairs are an error.
+func sortRows(rows [][]Value, keys [][]Value, items []OrderItem) error {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		if sortErr != nil {
+			return false
+		}
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i, oi := range items {
+			va, vb := ka[i], kb[i]
+			if va.IsNull() && vb.IsNull() {
+				continue
+			}
+			if va.IsNull() {
+				return !oi.Desc
+			}
+			if vb.IsNull() {
+				return oi.Desc
+			}
+			if va.Equal(vb) {
+				continue
+			}
+			less, err := va.Less(vb)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if oi.Desc {
+				return !less
+			}
+			return less
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	orig := append([][]Value(nil), rows...)
+	origKeys := append([][]Value(nil), keys...)
+	for i, j := range idx {
+		rows[i] = orig[j]
+		if len(origKeys) > 0 {
+			keys[i] = origKeys[j]
+		}
+	}
+	return nil
+}
+
+func sources2map(sources []source) map[string]*Table {
+	m := make(map[string]*Table, len(sources))
+	for _, s := range sources {
+		m[strings.ToLower(s.alias)] = s.table
+	}
+	return m
+}
+
+func sources2aliases(sources []source) []string {
+	out := make([]string, len(sources))
+	for i, s := range sources {
+		out[i] = s.alias
+	}
+	return out
+}
+
+// planOrder greedily orders aliases so tables with the most applicable
+// conjuncts bind earliest.
+func planOrder(aliases []string, conjuncts []conjunct) []string {
+	remaining := append([]string(nil), aliases...)
+	bound := make(map[string]bool)
+	var order []string
+	used := make([]bool, len(conjuncts))
+	for len(remaining) > 0 {
+		bestIdx, bestScore := 0, -1
+		for i, a := range remaining {
+			la := strings.ToLower(a)
+			score := 0
+			for ci, c := range conjuncts {
+				if used[ci] || !c.aliases[la] {
+					continue
+				}
+				applicable := true
+				for ref := range c.aliases {
+					if ref != la && !bound[ref] {
+						applicable = false
+						break
+					}
+				}
+				if applicable {
+					score++
+				}
+			}
+			if score > bestScore {
+				bestIdx, bestScore = i, score
+			}
+		}
+		chosen := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		lc := strings.ToLower(chosen)
+		bound[lc] = true
+		for ci, c := range conjuncts {
+			if used[ci] {
+				continue
+			}
+			all := true
+			for ref := range c.aliases {
+				if !bound[ref] {
+					all = false
+					break
+				}
+			}
+			if all {
+				used[ci] = true
+			}
+		}
+		order = append(order, chosen)
+	}
+	return order
+}
+
+// splitConjuncts flattens top-level ANDs.
+func splitConjuncts(x Expr) []Expr {
+	if b, ok := x.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []Expr{x}
+}
+
+// resolveColumns fills in the Qualifier of unqualified column references
+// when the column name is unique across the FROM tables, and validates
+// qualified references.
+func resolveColumns(x Expr, tables map[string]*Table) error {
+	switch n := x.(type) {
+	case *ColumnRef:
+		if n.Qualifier != "" {
+			t, ok := tables[strings.ToLower(n.Qualifier)]
+			if !ok {
+				return fmt.Errorf("sdb: unknown table alias %q", n.Qualifier)
+			}
+			if t.ColumnIndex(n.Name) < 0 {
+				return fmt.Errorf("sdb: table %q has no column %q", n.Qualifier, n.Name)
+			}
+			return nil
+		}
+		var owner string
+		for alias, t := range tables {
+			if t.ColumnIndex(n.Name) >= 0 {
+				if owner != "" {
+					return fmt.Errorf("sdb: ambiguous column %q", n.Name)
+				}
+				owner = alias
+			}
+		}
+		if owner == "" {
+			return fmt.Errorf("sdb: unknown column %q", n.Name)
+		}
+		n.Qualifier = owner
+		return nil
+	case *BinaryExpr:
+		if err := resolveColumns(n.Left, tables); err != nil {
+			return err
+		}
+		return resolveColumns(n.Right, tables)
+	case *UnaryExpr:
+		return resolveColumns(n.X, tables)
+	case *FuncCall:
+		for _, a := range n.Args {
+			if err := resolveColumns(a, tables); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// exprAliases collects the (lowercased) table aliases an expression
+// references; call after resolveColumns.
+func exprAliases(x Expr) map[string]bool {
+	out := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch n := x.(type) {
+		case *ColumnRef:
+			if n.Qualifier != "" {
+				out[strings.ToLower(n.Qualifier)] = true
+			}
+		case *BinaryExpr:
+			walk(n.Left)
+			walk(n.Right)
+		case *UnaryExpr:
+			walk(n.X)
+		case *FuncCall:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(x)
+	return out
+}
+
+// exprLabel produces a display label for a select-list expression.
+func exprLabel(x Expr) string {
+	switch n := x.(type) {
+	case *ColumnRef:
+		if n.Qualifier != "" {
+			return n.Qualifier + "." + n.Name
+		}
+		return n.Name
+	case *FuncCall:
+		return n.Name
+	case *Literal:
+		return n.Val.String()
+	default:
+		return "expr"
+	}
+}

@@ -1,0 +1,110 @@
+package sdb
+
+import (
+	"strings"
+	"testing"
+
+	"qbism/internal/lfm"
+)
+
+func explainDB(t *testing.T) *DB {
+	t.Helper()
+	m, _ := lfm.New(1<<18, 4096)
+	db := NewDB(m)
+	db.MustExec(`create table a (id int, v int)`)
+	db.MustExec(`create table b (id int, w int)`)
+	db.MustExec(`insert into a values (1, 10), (2, 20)`)
+	db.MustExec(`insert into b values (1, 100)`)
+	return db
+}
+
+func planText(t *testing.T, db *DB, sql string) string {
+	t.Helper()
+	res := db.MustExec(sql)
+	var sb strings.Builder
+	for _, row := range res.Rows {
+		sb.WriteString(row[0].S)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestExplainShowsJoinOrderAndPushdown(t *testing.T) {
+	db := explainDB(t)
+	plan := planText(t, db, `explain select a.v from a, b where a.id = b.id and b.w = 100`)
+	// b has the single-table filter, so it scans first.
+	bLevel := strings.Index(plan, "scan b")
+	aLevel := strings.Index(plan, "scan a")
+	if bLevel < 0 || aLevel < 0 || bLevel > aLevel {
+		t.Errorf("join order wrong:\n%s", plan)
+	}
+	if !strings.Contains(plan, "filter (b.w = 100)") {
+		t.Errorf("pushdown filter missing:\n%s", plan)
+	}
+	if !strings.Contains(plan, "filter (a.id = b.id)") {
+		t.Errorf("join predicate missing:\n%s", plan)
+	}
+}
+
+func TestExplainAggregatesAndSort(t *testing.T) {
+	db := explainDB(t)
+	plan := planText(t, db, `explain select v, count(*), sum(v) from a group by v order by sum(v) desc limit 3`)
+	// Column references are shown fully qualified after resolution.
+	for _, want := range []string{"group by a.v", "count(*)", "sum(a.v)", "sort: sum(a.v) desc", "limit: 3"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainSingleGroup(t *testing.T) {
+	db := explainDB(t)
+	plan := planText(t, db, `explain select count(*) from a`)
+	if !strings.Contains(plan, "aggregate: single group") {
+		t.Errorf("plan:\n%s", plan)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	db := explainDB(t)
+	if _, err := db.Exec(`explain insert into a values (3, 30)`); err == nil {
+		t.Error("EXPLAIN INSERT accepted")
+	}
+	if _, err := db.Exec(`explain select nosuch from a`); err == nil {
+		t.Error("EXPLAIN of invalid query accepted")
+	}
+	if _, err := db.Exec(`explain`); err == nil {
+		t.Error("bare EXPLAIN accepted")
+	}
+}
+
+func TestExplainDoesNotExecute(t *testing.T) {
+	db := explainDB(t)
+	before := len(db.MustExec(`select * from a`).Rows)
+	db.MustExec(`explain select * from a where v > 0`)
+	after := len(db.MustExec(`select * from a`).Rows)
+	if before != after {
+		t.Error("EXPLAIN mutated data")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	stmt, err := Parse(`select not v, -v, v + 1, f(v, '*it''s*'), count(*) from a where v <> 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	got := make([]string, len(sel.Exprs))
+	for i, item := range sel.Exprs {
+		got[i] = exprString(item.Expr)
+	}
+	want := []string{"NOT v", "-v", "(v + 1)", "f(v, '*it's*')", "count(*)"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("exprString[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if exprString(sel.Where) != "(v <> 2)" {
+		t.Errorf("where = %q", exprString(sel.Where))
+	}
+}

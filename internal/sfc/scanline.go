@@ -1,0 +1,35 @@
+package sfc
+
+// scanCurve implements Curve using row-major scanline order (x varies
+// fastest, then y, then z). This is the order raw studies arrive in and
+// the baseline the paper's Hilbert/Z layouts are compared against.
+type scanCurve struct {
+	dim  int
+	bits int
+}
+
+func (s scanCurve) Kind() Kind     { return Scanline }
+func (s scanCurve) Dim() int       { return s.dim }
+func (s scanCurve) Bits() int      { return s.bits }
+func (s scanCurve) Length() uint64 { return uint64(1) << (s.dim * s.bits) }
+
+func (s scanCurve) ID(p Point) uint64 {
+	checkPoint(p, s.dim, s.bits)
+	side := uint64(1) << s.bits
+	if s.dim == 2 {
+		return uint64(p.Y)*side + uint64(p.X)
+	}
+	return (uint64(p.Z)*side+uint64(p.Y))*side + uint64(p.X)
+}
+
+func (s scanCurve) Point(id uint64) Point {
+	checkID(id, s.dim, s.bits)
+	side := uint64(1) << s.bits
+	x := uint32(id % side)
+	id /= side
+	y := uint32(id % side)
+	if s.dim == 2 {
+		return Point{X: x, Y: y}
+	}
+	return Point{X: x, Y: y, Z: uint32(id / side)}
+}

@@ -1,0 +1,80 @@
+package sfc
+
+// zCurve implements Curve using Z order (Morton keys): the id is the bit
+// interleaving of the coordinates, z-bit first so that for the 2D case
+// the id of (x,y) is x1 y1 x0 y0 ... exactly as in Figure 2 of the paper
+// (the paper's shaded 1x1 square at x=01,y=00 has z-id 0010).
+type zCurve struct {
+	dim  int
+	bits int
+}
+
+func (z zCurve) Kind() Kind     { return ZOrder }
+func (z zCurve) Dim() int       { return z.dim }
+func (z zCurve) Bits() int      { return z.bits }
+func (z zCurve) Length() uint64 { return uint64(1) << (z.dim * z.bits) }
+
+func (z zCurve) ID(p Point) uint64 {
+	checkPoint(p, z.dim, z.bits)
+	if z.dim == 2 {
+		return interleave2(p.X, z.bits)<<1 | interleave2(p.Y, z.bits)
+	}
+	return interleave3(p.X, z.bits)<<2 | interleave3(p.Y, z.bits)<<1 | interleave3(p.Z, z.bits)
+}
+
+func (z zCurve) Point(id uint64) Point {
+	checkID(id, z.dim, z.bits)
+	if z.dim == 2 {
+		return Point{X: deinterleave2(id>>1, z.bits), Y: deinterleave2(id, z.bits)}
+	}
+	return Point{
+		X: deinterleave3(id>>2, z.bits),
+		Y: deinterleave3(id>>1, z.bits),
+		Z: deinterleave3(id, z.bits),
+	}
+}
+
+// interleave2 spreads the low bits of v so bit i lands at position 2i.
+func interleave2(v uint32, bits int) uint64 {
+	x := uint64(v) & (1<<bits - 1)
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// deinterleave2 is the inverse of interleave2 for ids with data on even bits.
+func deinterleave2(id uint64, bits int) uint32 {
+	x := id & 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x>>4) & 0x00ff00ff00ff00ff
+	x = (x | x>>8) & 0x0000ffff0000ffff
+	x = (x | x>>16) & 0x00000000ffffffff
+	return uint32(x) & (1<<bits - 1)
+}
+
+// interleave3 spreads the low bits of v so bit i lands at position 3i.
+func interleave3(v uint32, bits int) uint64 {
+	x := uint64(v) & (1<<bits - 1)
+	x = (x | x<<32) & 0xffff00000000ffff
+	x = (x | x<<16) & 0x00ff0000ff0000ff
+	x = (x | x<<8) & 0xf00f00f00f00f00f
+	x = (x | x<<4) & 0x30c30c30c30c30c3
+	x = (x | x<<2) & 0x9249249249249249
+	return x
+}
+
+// deinterleave3 is the inverse of interleave3 for ids with data at bit
+// positions that are multiples of 3.
+func deinterleave3(id uint64, bits int) uint32 {
+	x := id & 0x9249249249249249
+	x = (x | x>>2) & 0x30c30c30c30c30c3
+	x = (x | x>>4) & 0xf00f00f00f00f00f
+	x = (x | x>>8) & 0x00ff0000ff0000ff
+	x = (x | x>>16) & 0xffff00000000ffff
+	x = (x | x>>32) & 0x00000000ffffffff
+	return uint32(x) & (1<<bits - 1)
+}

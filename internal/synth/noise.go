@@ -1,0 +1,69 @@
+// Package synth generates the synthetic PET and MRI studies standing in
+// for the UCLA clinical data (5 PET studies of 128x128x51 slices, 3 MRI
+// studies of 512x512x44 slices in the paper). Studies are produced by
+// sampling a deterministic analytic "phantom" head in atlas space
+// through a per-patient affine misalignment, so the full load pipeline —
+// landmark registration, warping, resampling, banding — runs exactly as
+// it would on acquired imagery.
+package synth
+
+import "math"
+
+// valueNoise is deterministic seeded 3D value noise: lattice hashes
+// interpolated trilinearly, summed over two octaves. Output is in [0,1).
+type valueNoise struct {
+	seed uint64
+}
+
+// hash maps a lattice point to a pseudo-random value in [0,1).
+func (n valueNoise) hash(x, y, z int64) float64 {
+	h := n.seed
+	for _, v := range [3]int64{x, y, z} {
+		h ^= uint64(v) + 0x9e3779b97f4a7c15
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+	}
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}
+
+// sample evaluates one octave at the continuous point (x, y, z) with the
+// given lattice period.
+func (n valueNoise) sample(x, y, z, period float64) float64 {
+	fx, fy, fz := x/period, y/period, z/period
+	x0, y0, z0 := math.Floor(fx), math.Floor(fy), math.Floor(fz)
+	tx, ty, tz := smooth(fx-x0), smooth(fy-y0), smooth(fz-z0)
+	ix, iy, iz := int64(x0), int64(y0), int64(z0)
+	var acc float64
+	for dz := int64(0); dz < 2; dz++ {
+		wz := tz
+		if dz == 0 {
+			wz = 1 - tz
+		}
+		for dy := int64(0); dy < 2; dy++ {
+			wy := ty
+			if dy == 0 {
+				wy = 1 - ty
+			}
+			for dx := int64(0); dx < 2; dx++ {
+				wx := tx
+				if dx == 0 {
+					wx = 1 - tx
+				}
+				acc += wx * wy * wz * n.hash(ix+dx, iy+dy, iz+dz)
+			}
+		}
+	}
+	return acc
+}
+
+// smooth is the smoothstep fade curve.
+func smooth(t float64) float64 { return t * t * (3 - 2*t) }
+
+// fractal sums two octaves of value noise, normalized back to [0,1).
+func (n valueNoise) fractal(x, y, z, period float64) float64 {
+	a := n.sample(x, y, z, period)
+	b := valueNoise{seed: n.seed ^ 0xabcdef}.sample(x, y, z, period/2)
+	return (2*a + b) / 3
+}

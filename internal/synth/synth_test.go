@@ -1,0 +1,202 @@
+package synth
+
+import (
+	"testing"
+
+	"qbism/internal/warp"
+)
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	n := valueNoise{seed: 42}
+	for i := 0; i < 1000; i++ {
+		x, y, z := float64(i)*0.7, float64(i)*1.3, float64(i)*0.11
+		v := n.fractal(x, y, z, 8)
+		if v < 0 || v >= 1 {
+			t.Fatalf("noise out of range: %v", v)
+		}
+		if v2 := n.fractal(x, y, z, 8); v2 != v {
+			t.Fatal("noise not deterministic")
+		}
+	}
+	// Different seeds give different fields.
+	n2 := valueNoise{seed: 43}
+	same := 0
+	for i := 0; i < 100; i++ {
+		if n.fractal(float64(i), 0, 0, 8) == n2.fractal(float64(i), 0, 0, 8) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds agree on %d/100 samples", same)
+	}
+}
+
+func TestNoiseContinuity(t *testing.T) {
+	// Value noise must be continuous: nearby samples are close.
+	n := valueNoise{seed: 7}
+	for i := 0; i < 500; i++ {
+		x := float64(i) * 0.31
+		d := n.fractal(x, 5, 5, 8) - n.fractal(x+0.01, 5, 5, 8)
+		if d < -0.05 || d > 0.05 {
+			t.Fatalf("discontinuity at x=%v: delta %v", x, d)
+		}
+	}
+}
+
+func TestPhantomAirVsBrain(t *testing.T) {
+	for _, m := range []Modality{PET, MRI} {
+		p := NewPhantom(m, 1)
+		// Center of the head: real tissue intensity.
+		center := p.Intensity(0.5, 0.53, 0.48)
+		if center < 20 {
+			t.Errorf("%v: brain center intensity %d too low", m, center)
+		}
+		// Far corner: air.
+		if air := p.Intensity(0.02, 0.02, 0.02); air > 10 {
+			t.Errorf("%v: air intensity %d too high", m, air)
+		}
+	}
+}
+
+func TestPhantomPETHotspots(t *testing.T) {
+	p := NewPhantom(PET, 5)
+	// At least one voxel near a hotspot center must be hot (>180).
+	hot := 0
+	for _, h := range p.hotspots {
+		if v := p.Intensity(h.cx, h.cy, h.cz); v > 180 {
+			hot++
+		}
+	}
+	if hot == 0 {
+		t.Error("no hotspot is hot at its center")
+	}
+}
+
+func TestModalityString(t *testing.T) {
+	if PET.String() != "PET" || MRI.String() != "MRI" {
+		t.Error("modality names wrong")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{StudyID: 1, PatientID: 2, Modality: PET, Seed: 9, AtlasSide: 32,
+		Grid: warp.Grid{NX: 32, NY: 32, NZ: 13}}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Data) != 32*32*13 {
+		t.Fatalf("data length = %d", len(a.Data))
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	if len(a.Landmarks) < 4 {
+		t.Errorf("landmarks = %d", len(a.Landmarks))
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	s, err := Generate(Params{StudyID: 1, PatientID: 1, Modality: PET, Seed: 3, AtlasSide: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultGrid(PET, 32)
+	if s.Grid != want {
+		t.Errorf("grid = %+v, want %+v", s.Grid, want)
+	}
+	mri := DefaultGrid(MRI, 128)
+	if mri.NX != 512 || mri.NZ != 44 {
+		t.Errorf("MRI default grid = %+v, want 512x512x44", mri)
+	}
+	pet := DefaultGrid(PET, 128)
+	if pet.NX != 128 || pet.NZ != 51 {
+		t.Errorf("PET default grid = %+v, want 128x128x51", pet)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Params{AtlasSide: 4}); err == nil {
+		t.Error("tiny atlas accepted")
+	}
+	if _, err := Generate(Params{AtlasSide: 32, Grid: warp.Grid{NX: 1, NY: 5, NZ: 5}}); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+func TestRegistrationRecoversTrueWarp(t *testing.T) {
+	s, err := Generate(Params{StudyID: 1, PatientID: 1, Modality: PET, Seed: 11, AtlasSide: 32,
+		Grid: warp.Grid{NX: 32, NY: 32, NZ: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := s.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted warp must map patient corners near where the true warp
+	// does (within the landmark jitter).
+	for _, p := range [][3]float64{{0, 0, 0}, {31, 31, 15}, {16, 8, 4}} {
+		tx, ty, tz := s.TrueWarp.Apply(p[0], p[1], p[2])
+		fx, fy, fz := fit.Apply(p[0], p[1], p[2])
+		d := (tx-fx)*(tx-fx) + (ty-fy)*(ty-fy) + (tz-fz)*(tz-fz)
+		if d > 4 {
+			t.Errorf("fitted warp off by %.2f voxels at %v", d, p)
+		}
+	}
+}
+
+func TestWarpToAtlasProducesBrainlikeVolume(t *testing.T) {
+	s, err := Generate(Params{StudyID: 1, PatientID: 1, Modality: PET, Seed: 21, AtlasSide: 32,
+		Grid: warp.Grid{NX: 32, NY: 32, NZ: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, _, err := s.WarpToAtlas(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vol) != 32*32*32 {
+		t.Fatalf("warped volume = %d bytes", len(vol))
+	}
+	// The warped volume must have real contrast: air near 0 at the
+	// corner, tissue in the middle.
+	corner := vol[0]
+	center := vol[(16*32+17)*32+16]
+	if corner > 30 {
+		t.Errorf("corner intensity = %d, want air", corner)
+	}
+	if center < 20 {
+		t.Errorf("center intensity = %d, want tissue", center)
+	}
+}
+
+func TestMRIStructureContrast(t *testing.T) {
+	// MRI phantoms must show the putamen brighter than surrounding
+	// white matter on average.
+	p := NewPhantom(MRI, 2)
+	var putamen, white float64
+	for i := 0; i < 50; i++ {
+		f := float64(i) / 50
+		putamen += float64(p.Intensity(0.38+0.01*f, 0.52, 0.46))
+		white += float64(p.Intensity(0.60, 0.40+0.01*f, 0.55))
+	}
+	if putamen <= white {
+		t.Errorf("putamen mean %.1f not brighter than white matter %.1f", putamen/50, white/50)
+	}
+}
+
+func BenchmarkGeneratePET32(b *testing.B) {
+	p := Params{StudyID: 1, PatientID: 1, Modality: PET, Seed: 4, AtlasSide: 32}
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package volume
+
+import (
+	"fmt"
+	"math"
+
+	"qbism/internal/region"
+	"qbism/internal/sfc"
+)
+
+// Vector fields. The paper (Section 1) defines the general n-d m-vector
+// field and notes the techniques "handle vector fields by simply storing
+// vectors in place of scalars in the appropriate data structures" — this
+// file does exactly that: M components per voxel, interleaved in curve
+// order, so REGION-based extraction works component-for-component like
+// the scalar case. The canonical producer is Gradient, the "computing a
+// gradient field" manipulation DX offers on query results.
+
+// VectorVolume is a complete M-component field over the grid of a curve,
+// stored as M interleaved bytes per voxel in curve order.
+type VectorVolume struct {
+	curve sfc.Curve
+	m     int
+	data  []byte // len == curve.Length() * m
+}
+
+// NewVector wraps data (curve order, M bytes per voxel) as a vector
+// volume.
+func NewVector(c sfc.Curve, m int, data []byte) (*VectorVolume, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("volume: vector arity %d", m)
+	}
+	if uint64(len(data)) != c.Length()*uint64(m) {
+		return nil, fmt.Errorf("volume: vector data length %d != %d voxels x %d components",
+			len(data), c.Length(), m)
+	}
+	return &VectorVolume{curve: c, m: m, data: data}, nil
+}
+
+// VectorFromFunc samples f (returning M components) over the grid.
+func VectorFromFunc(c sfc.Curve, m int, f func(p sfc.Point) []uint8) (*VectorVolume, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("volume: vector arity %d", m)
+	}
+	data := make([]byte, c.Length()*uint64(m))
+	for id := uint64(0); id < c.Length(); id++ {
+		v := f(c.Point(id))
+		if len(v) != m {
+			return nil, fmt.Errorf("volume: sample function returned %d components, want %d", len(v), m)
+		}
+		copy(data[id*uint64(m):], v)
+	}
+	return &VectorVolume{curve: c, m: m, data: data}, nil
+}
+
+// Curve returns the storage order.
+func (v *VectorVolume) Curve() sfc.Curve { return v.curve }
+
+// M returns the vector arity.
+func (v *VectorVolume) M() int { return v.m }
+
+// NumVoxels returns the voxel count.
+func (v *VectorVolume) NumVoxels() uint64 { return v.curve.Length() }
+
+// ValueAtID returns the M components at a curve position. The returned
+// slice aliases the volume; treat as read-only.
+func (v *VectorVolume) ValueAtID(id uint64) []uint8 {
+	off := id * uint64(v.m)
+	return v.data[off : off+uint64(v.m)]
+}
+
+// ValueAt returns the components at a grid point.
+func (v *VectorVolume) ValueAt(p sfc.Point) []uint8 {
+	return v.ValueAtID(v.curve.ID(p))
+}
+
+// Component extracts one component plane as a scalar Volume.
+func (v *VectorVolume) Component(i int) (*Volume, error) {
+	if i < 0 || i >= v.m {
+		return nil, fmt.Errorf("volume: component %d of %d-vector", i, v.m)
+	}
+	out := make([]byte, v.curve.Length())
+	for id := range out {
+		out[id] = v.data[uint64(id)*uint64(v.m)+uint64(i)]
+	}
+	return &Volume{curve: v.curve, data: out}, nil
+}
+
+// VectorDataRegion pairs a REGION with per-voxel vectors.
+type VectorDataRegion struct {
+	Region *region.Region
+	M      int
+	Values []byte // NumVoxels * M bytes in curve order
+}
+
+// ExtractVector is EXTRACT_DATA for vector fields: the vectors of v at
+// exactly the voxels of r.
+func ExtractVector(v *VectorVolume, r *region.Region) (*VectorDataRegion, error) {
+	rc, vc := r.Curve(), v.curve
+	if rc.Kind() != vc.Kind() || rc.Dim() != vc.Dim() || rc.Bits() != vc.Bits() {
+		return nil, fmt.Errorf("volume: extract region on %s/%db from vector volume on %s/%db",
+			rc.Kind(), rc.Bits(), vc.Kind(), vc.Bits())
+	}
+	m := uint64(v.m)
+	out := make([]byte, 0, r.NumVoxels()*m)
+	for _, run := range r.Runs() {
+		out = append(out, v.data[run.Lo*m:(run.Hi+1)*m]...)
+	}
+	return &VectorDataRegion{Region: r, M: v.m, Values: out}, nil
+}
+
+// NumVoxels returns the vector count.
+func (d *VectorDataRegion) NumVoxels() uint64 {
+	return uint64(len(d.Values)) / uint64(d.M)
+}
+
+// gradComponent encodes a signed central difference into an offset-128
+// byte (0 = -128, 128 = 0, 255 = +127).
+func gradComponent(hi, lo float64) uint8 {
+	d := (hi - lo) / 2
+	v := int(d) + 128
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return uint8(v)
+}
+
+// Gradient computes the central-difference gradient of a scalar volume
+// as a 3-vector field (components stored offset-128). Boundary voxels
+// use one-sided differences.
+func Gradient(v *Volume) (*VectorVolume, error) {
+	c := v.curve
+	if c.Dim() != 3 {
+		return nil, fmt.Errorf("volume: gradient needs a 3D volume, got %dD", c.Dim())
+	}
+	side := uint32(1) << c.Bits()
+	sample := func(x, y, z uint32) float64 {
+		return float64(v.ValueAt(sfc.Pt(x, y, z)))
+	}
+	clampLo := func(a uint32) uint32 {
+		if a == 0 {
+			return 0
+		}
+		return a - 1
+	}
+	clampHi := func(a uint32) uint32 {
+		if a >= side-1 {
+			return side - 1
+		}
+		return a + 1
+	}
+	return VectorFromFunc(c, 3, func(p sfc.Point) []uint8 {
+		return []uint8{
+			gradComponent(sample(clampHi(p.X), p.Y, p.Z), sample(clampLo(p.X), p.Y, p.Z)),
+			gradComponent(sample(p.X, clampHi(p.Y), p.Z), sample(p.X, clampLo(p.Y), p.Z)),
+			gradComponent(sample(p.X, p.Y, clampHi(p.Z)), sample(p.X, p.Y, clampLo(p.Z))),
+		}
+	})
+}
+
+// Magnitude reduces a vector volume to the per-voxel Euclidean norm of
+// its offset-128 components, clamped to 0-255 — e.g. gradient magnitude
+// for edge visualization.
+func (v *VectorVolume) Magnitude() *Volume {
+	out := make([]byte, v.curve.Length())
+	m := uint64(v.m)
+	for id := uint64(0); id < v.curve.Length(); id++ {
+		var s float64
+		for i := uint64(0); i < m; i++ {
+			d := float64(v.data[id*m+i]) - 128
+			s += d * d
+		}
+		mag := int(math.Sqrt(s))
+		if mag > 255 {
+			mag = 255
+		}
+		out[id] = uint8(mag)
+	}
+	return &Volume{curve: v.curve, data: out}
+}

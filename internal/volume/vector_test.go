@@ -1,0 +1,140 @@
+package volume
+
+import (
+	"testing"
+
+	"qbism/internal/region"
+	"qbism/internal/sfc"
+)
+
+func TestNewVectorValidation(t *testing.T) {
+	if _, err := NewVector(h3, 0, nil); err == nil {
+		t.Error("arity 0 accepted")
+	}
+	if _, err := NewVector(h3, 2, make([]byte, 3)); err == nil {
+		t.Error("wrong length accepted")
+	}
+	v, err := NewVector(h3, 2, make([]byte, 2*h3.Length()))
+	if err != nil || v.M() != 2 || v.NumVoxels() != h3.Length() {
+		t.Errorf("NewVector: %v %v", v, err)
+	}
+}
+
+func TestVectorFromFuncAndAccess(t *testing.T) {
+	v, err := VectorFromFunc(h3, 3, func(p sfc.Point) []uint8 {
+		return []uint8{uint8(p.X), uint8(p.Y), uint8(p.Z)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.ValueAt(sfc.Pt(3, 7, 11))
+	if got[0] != 3 || got[1] != 7 || got[2] != 11 {
+		t.Errorf("ValueAt = %v", got)
+	}
+	// Component planes match.
+	cx, err := v.Component(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cx.ValueAt(sfc.Pt(9, 1, 2)) != 9 {
+		t.Error("component plane wrong")
+	}
+	if _, err := v.Component(3); err == nil {
+		t.Error("out-of-range component accepted")
+	}
+	// Arity mismatch from the sampler.
+	if _, err := VectorFromFunc(h3, 2, func(p sfc.Point) []uint8 { return []uint8{1} }); err == nil {
+		t.Error("bad sampler arity accepted")
+	}
+}
+
+func TestExtractVector(t *testing.T) {
+	v, _ := VectorFromFunc(h3, 2, func(p sfc.Point) []uint8 {
+		return []uint8{uint8(p.X * 2), uint8(p.Y * 2)}
+	})
+	r, err := region.FromBox(h3, region.Box{Min: sfc.Pt(1, 1, 1), Max: sfc.Pt(3, 3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ExtractVector(v, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumVoxels() != 27 || len(d.Values) != 54 {
+		t.Fatalf("extracted %d voxels, %d bytes", d.NumVoxels(), len(d.Values))
+	}
+	// Spot-check alignment: walk region ids and compare to volume.
+	i := 0
+	r.ForEachID(func(id uint64) bool {
+		want := v.ValueAtID(id)
+		if d.Values[2*i] != want[0] || d.Values[2*i+1] != want[1] {
+			t.Fatalf("vector %d mismatched", i)
+		}
+		i++
+		return true
+	})
+	// Curve mismatch rejected.
+	rz, _ := r.Recode(z3)
+	if _, err := ExtractVector(v, rz); err == nil {
+		t.Error("curve mismatch accepted")
+	}
+}
+
+func TestGradientOfLinearRamp(t *testing.T) {
+	// f(x,y,z) = 4x: gradient must be (+4, 0, 0) everywhere away from
+	// boundaries.
+	v := FromFunc(h3, func(p sfc.Point) uint8 { return uint8(p.X * 4) })
+	g, err := Gradient(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.ValueAt(sfc.Pt(7, 8, 8))
+	if got[0] != 128+4 {
+		t.Errorf("dx = %d, want %d", got[0], 128+4)
+	}
+	if got[1] != 128 || got[2] != 128 {
+		t.Errorf("dy,dz = %d,%d, want 128,128", got[1], got[2])
+	}
+	// Magnitude of the ramp is 4 in the interior.
+	mag := g.Magnitude()
+	if m := mag.ValueAt(sfc.Pt(7, 8, 8)); m != 4 {
+		t.Errorf("magnitude = %d, want 4", m)
+	}
+	// 2D volumes are rejected.
+	v2 := FromFunc(sfc.MustNew(sfc.Hilbert, 2, 3), func(p sfc.Point) uint8 { return 0 })
+	if _, err := Gradient(v2); err == nil {
+		t.Error("2D gradient accepted")
+	}
+}
+
+func TestGradientDetectsEdges(t *testing.T) {
+	// A step function: gradient magnitude peaks at the step.
+	v := FromFunc(h3, func(p sfc.Point) uint8 {
+		if p.X >= 8 {
+			return 200
+		}
+		return 0
+	})
+	g, err := Gradient(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag := g.Magnitude()
+	edge := mag.ValueAt(sfc.Pt(8, 8, 8))
+	flat := mag.ValueAt(sfc.Pt(3, 8, 8))
+	if edge <= flat {
+		t.Errorf("edge magnitude %d not above flat %d", edge, flat)
+	}
+}
+
+func TestGradComponentClamps(t *testing.T) {
+	if gradComponent(999999, 0) != 255 {
+		t.Error("positive overflow not clamped")
+	}
+	if gradComponent(0, 999999) != 0 {
+		t.Error("negative overflow not clamped")
+	}
+	if gradComponent(10, 10) != 128 {
+		t.Error("zero difference not centered")
+	}
+}
