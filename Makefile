@@ -1,0 +1,21 @@
+# Pre-merge check: vet, build, and the full test suite under the race
+# detector (the chaos and netsim concurrency tests are required to be
+# race-clean). Run `make check` before merging.
+
+GO ?= go
+
+.PHONY: check vet build test race
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

@@ -10,6 +10,11 @@
 //	qbism -study 1 -structure ntal1 -bandlo 224 -bandhi 255 -out result.pgm
 //	qbism -study 2 -box 30,30,30,100,100,100
 //	qbism -sql "select numRuns(as.region) from atlasStructure as"
+//
+// Chaos mode injects deterministic faults on the RPC link and the LFM
+// device and lets the retrying, checksummed query path ride them out:
+//
+//	qbism -study 1 -full -drop 0.05 -timeout 0.02 -readerr 0.01 -faultseed 42
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"qbism"
 )
@@ -39,11 +45,41 @@ func main() {
 	out := flag.String("out", "", "write the rendered MIP projection to this PGM file")
 	sql := flag.String("sql", "", "run this SQL statement instead of a query spec")
 	repl := flag.Bool("repl", false, "read SQL statements from stdin (one per line; EXPLAIN supported)")
+
+	drop := flag.Float64("drop", 0, "link: probability a message is dropped")
+	timeout := flag.Float64("timeout", 0, "link: probability a message times out")
+	corrupt := flag.Float64("corrupt", 0, "link: probability of detected payload corruption")
+	tamper := flag.Float64("tamper", 0, "link: probability of a silent one-byte flip (caught by the frame CRC)")
+	latency := flag.Float64("latency", 0, "link: probability of 50ms extra simulated latency")
+	readErr := flag.Float64("readerr", 0, "device: per-page probability of a read fault")
+	pageCorrupt := flag.Float64("pagecorrupt", 0, "device: per-page probability of a silent bit flip (caught by page checksums)")
+	faultSeed := flag.Uint64("faultseed", 1, "fault injection seed")
+	retries := flag.Int("retries", 5, "max query attempts (1 = no retries)")
+	checksums := flag.Bool("checksums", true, "enable per-page CRC32 checksums on long fields")
 	flag.Parse()
 
-	sys, err := qbism.NewSystem(qbism.Config{
+	cfg := qbism.Config{
 		Bits: *bits, NumPET: *pets, NumMRI: *mris, Seed: *seed, SmallStudies: *small,
-	})
+		Checksums: *checksums,
+	}
+	if *drop+*timeout+*corrupt+*tamper+*latency > 0 {
+		cfg.LinkFaults = &qbism.FaultPolicy{
+			Seed: *faultSeed, DropProb: *drop, TimeoutProb: *timeout,
+			CorruptProb: *corrupt, TamperProb: *tamper,
+			LatencyProb: *latency, ExtraLatency: 50 * time.Millisecond,
+		}
+	}
+	if *readErr+*pageCorrupt > 0 {
+		cfg.DeviceFaults = &qbism.FaultPolicy{
+			Seed: *faultSeed + 1, ReadErrProb: *readErr, PageCorruptProb: *pageCorrupt,
+		}
+	}
+	pol := qbism.DefaultRetryPolicy()
+	pol.MaxAttempts = *retries
+	pol.Seed = *faultSeed
+	cfg.Retry = pol
+
+	sys, err := qbism.NewSystem(cfg)
 	if err != nil {
 		fail("load: %v", err)
 	}
@@ -128,12 +164,26 @@ func main() {
 
 	res, err := sys.RunQuery(spec)
 	if err != nil {
+		if qbism.RetryableError(err) {
+			fail("query: %v (transient — retries exhausted)", err)
+		}
 		fail("query: %v", err)
 	}
 	qbism.WriteTable3(os.Stdout, []qbism.QueryTiming{res.Timing})
 	st := res.Data.Stats()
 	fmt.Printf("\nresult: %d voxels in %d runs; intensity min/mean/max = %d/%.1f/%d (patient %s, %s)\n",
 		st.N, res.Data.Region.NumRuns(), st.Min, st.Mean, st.Max, res.Meta.Patient, res.Meta.Date)
+	if res.Retry.Retries > 0 {
+		fmt.Printf("resilience: %d attempts, %d retried, %v simulated backoff (last error: %s)\n",
+			res.Retry.Attempts, res.Retry.Retries, res.Retry.BackoffSim, res.Retry.LastError)
+	}
+	if res.Meta.Degraded {
+		fmt.Printf("WARNING: degraded answer — %s\n", res.Meta.Warning)
+	}
+	if ls := sys.Link.Stats(); ls.Drops+ls.Timeouts+ls.Corruptions+ls.Tampers+ls.Latencies > 0 {
+		fmt.Printf("link faults: %d drops, %d timeouts, %d corruptions, %d tampers, %d latency hits\n",
+			ls.Drops, ls.Timeouts, ls.Corruptions, ls.Tampers, ls.Latencies)
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)

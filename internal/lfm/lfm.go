@@ -14,8 +14,11 @@ package lfm
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math/bits"
 	"os"
+
+	"qbism/internal/faultsim"
 )
 
 // DefaultPageSize is the paper's 4 KB I/O unit.
@@ -26,6 +29,14 @@ var (
 	ErrNoSpace       = errors.New("lfm: out of device space")
 	ErrUnknownHandle = errors.New("lfm: unknown long field handle")
 	ErrOutOfRange    = errors.New("lfm: read beyond field end")
+	// ErrReadFault is an injected device read error (transient media
+	// failure); callers may retry.
+	ErrReadFault = errors.New("lfm: device read fault")
+	// ErrWriteFault is an injected device write error.
+	ErrWriteFault = errors.New("lfm: device write fault")
+	// ErrChecksum means a page's content does not match its stored
+	// CRC32 — corruption on the device or in transfer was detected.
+	ErrChecksum = errors.New("lfm: page checksum mismatch")
 )
 
 // Handle identifies a stored long field.
@@ -39,17 +50,22 @@ type Stats struct {
 	BytesWritten uint64 // logical bytes stored by callers
 	Reads        uint64 // read operations
 	Writes       uint64 // write operations
+
+	FaultsInjected   uint64 // device faults injected by the fault policy
+	ChecksumFailures uint64 // page reads rejected by CRC verification
 }
 
 // Sub returns s - o, for measuring a single query's traffic.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		PageReads:    s.PageReads - o.PageReads,
-		PageWrites:   s.PageWrites - o.PageWrites,
-		BytesRead:    s.BytesRead - o.BytesRead,
-		BytesWritten: s.BytesWritten - o.BytesWritten,
-		Reads:        s.Reads - o.Reads,
-		Writes:       s.Writes - o.Writes,
+		PageReads:        s.PageReads - o.PageReads,
+		PageWrites:       s.PageWrites - o.PageWrites,
+		BytesRead:        s.BytesRead - o.BytesRead,
+		BytesWritten:     s.BytesWritten - o.BytesWritten,
+		Reads:            s.Reads - o.Reads,
+		Writes:           s.Writes - o.Writes,
+		FaultsInjected:   s.FaultsInjected - o.FaultsInjected,
+		ChecksumFailures: s.ChecksumFailures - o.ChecksumFailures,
 	}
 }
 
@@ -73,9 +89,14 @@ type Manager struct {
 	nextID    Handle
 	stats     Stats
 
-	// ReadFault, when non-nil, is consulted with each device page read;
-	// a non-nil return aborts the read (failure injection for tests).
-	ReadFault func(page uint64) error
+	// faults, when non-nil, injects device failures on page reads and
+	// writes (faultsim.ReadErr/PageCorrupt/WriteErr/TornWrite).
+	faults *faultsim.Injector
+	// verify enables per-page CRC32 checksums: computed on write,
+	// checked on read.
+	verify bool
+	// sums holds each field's per-page CRC32 table while verify is on.
+	sums map[Handle][]uint32
 }
 
 // New creates a manager over a simulated device of the given capacity in
@@ -125,6 +146,68 @@ func (m *Manager) ResetStats() { m.stats = Stats{} }
 
 // NumFields returns the number of live long fields.
 func (m *Manager) NumFields() int { return len(m.fields) }
+
+// SetFaults installs (or, with nil, removes) the device fault injector.
+func (m *Manager) SetFaults(in *faultsim.Injector) { m.faults = in }
+
+// EnableChecksums switches on per-page CRC32 integrity: every write
+// records a checksum per 4 KB page of the field, and every read
+// verifies the pages it touches, failing with ErrChecksum on mismatch.
+// Fields already on the device are checksummed from their current
+// contents. Verification does not change the page accounting — the
+// pages checked are exactly the pages the read already touched.
+func (m *Manager) EnableChecksums() error {
+	if m.verify {
+		return nil
+	}
+	m.sums = make(map[Handle][]uint32, len(m.fields))
+	for h, f := range m.fields {
+		data := make([]byte, f.size)
+		if err := m.devRead(f.off, data); err != nil {
+			return err
+		}
+		m.sums[h] = pageChecksums(data, m.pageSize)
+	}
+	m.verify = true
+	return nil
+}
+
+// ChecksumsEnabled reports whether page checksums are active.
+func (m *Manager) ChecksumsEnabled() bool { return m.verify }
+
+// Corrupt flips stored bytes of a field on the device without updating
+// its checksum table — a chaos hook simulating at-rest media corruption
+// (bit rot). xor is applied to the byte at logical offset off.
+func (m *Manager) Corrupt(h Handle, off uint64, xor byte) error {
+	f, ok := m.fields[h]
+	if !ok {
+		return ErrUnknownHandle
+	}
+	if off >= f.size {
+		return fmt.Errorf("%w: corrupt at %d of %d-byte field", ErrOutOfRange, off, f.size)
+	}
+	b := make([]byte, 1)
+	if err := m.devRead(f.off+off, b); err != nil {
+		return err
+	}
+	b[0] ^= xor
+	return m.devWriteRaw(f.off+off, b)
+}
+
+// pageChecksums splits data into pageSize chunks (the last may be
+// short) and returns their CRC32s.
+func pageChecksums(data []byte, pageSize uint64) []uint32 {
+	n := (uint64(len(data)) + pageSize - 1) / pageSize
+	sums := make([]uint32, 0, n)
+	for off := uint64(0); off < uint64(len(data)); off += pageSize {
+		end := off + pageSize
+		if end > uint64(len(data)) {
+			end = uint64(len(data))
+		}
+		sums = append(sums, crc32.ChecksumIEEE(data[off:end]))
+	}
+	return sums
+}
 
 // orderFor returns the smallest buddy order whose block holds size bytes.
 func (m *Manager) orderFor(size uint64) int {
@@ -202,6 +285,9 @@ func (m *Manager) Allocate(data []byte) (Handle, error) {
 	h := m.nextID
 	m.nextID++
 	m.fields[h] = field{off: off, size: uint64(len(data)), order: order}
+	if m.verify {
+		m.sums[h] = pageChecksums(data, m.pageSize)
+	}
 	m.stats.Writes++
 	m.stats.BytesWritten += uint64(len(data))
 	m.stats.PageWrites += m.pagesSpanned(off, uint64(len(data)))
@@ -222,6 +308,9 @@ func (m *Manager) Overwrite(h Handle, data []byte) error {
 		}
 		f.size = uint64(len(data))
 		m.fields[h] = f
+		if m.verify {
+			m.sums[h] = pageChecksums(data, m.pageSize)
+		}
 		m.stats.Writes++
 		m.stats.BytesWritten += uint64(len(data))
 		m.stats.PageWrites += m.pagesSpanned(f.off, uint64(len(data)))
@@ -237,6 +326,9 @@ func (m *Manager) Overwrite(h Handle, data []byte) error {
 		return err
 	}
 	m.fields[h] = field{off: off, size: uint64(len(data)), order: order}
+	if m.verify {
+		m.sums[h] = pageChecksums(data, m.pageSize)
+	}
 	m.stats.Writes++
 	m.stats.BytesWritten += uint64(len(data))
 	m.stats.PageWrites += m.pagesSpanned(off, uint64(len(data)))
@@ -258,7 +350,7 @@ func (m *Manager) Read(h Handle) ([]byte, error) {
 	if !ok {
 		return nil, ErrUnknownHandle
 	}
-	return m.readRange(f, 0, f.size)
+	return m.readRange(h, f, 0, f.size)
 }
 
 // ReadAt returns n bytes starting at logical offset off within the field
@@ -273,26 +365,104 @@ func (m *Manager) ReadAt(h Handle, off, n uint64) ([]byte, error) {
 	if off+n > f.size {
 		return nil, fmt.Errorf("%w: [%d,%d) of %d-byte field", ErrOutOfRange, off, off+n, f.size)
 	}
-	return m.readRange(f, off, n)
+	return m.readRange(h, f, off, n)
 }
 
-func (m *Manager) readRange(f field, off, n uint64) ([]byte, error) {
-	if m.ReadFault != nil {
-		first := (f.off + off) / m.pageSize
-		last := first
-		if n > 0 {
-			last = (f.off + off + n - 1) / m.pageSize
-		}
-		for p := first; p <= last; p++ {
-			if err := m.ReadFault(p); err != nil {
-				return nil, fmt.Errorf("lfm: device read fault on page %d: %w", p, err)
+// bitFlip records one injected single-bit corruption: logical page j of
+// the field, byte position within the page, and the bit mask.
+type bitFlip struct {
+	page uint64
+	pos  int
+	mask byte
+}
+
+func (m *Manager) readRange(h Handle, f field, off, n uint64) ([]byte, error) {
+	if n == 0 {
+		m.stats.Reads++
+		return []byte{}, nil
+	}
+	j0, j1 := off/m.pageSize, (off+n-1)/m.pageSize
+
+	// Fault decisions, one per page touched. ReadErr aborts before any
+	// transfer; PageCorrupt flips one bit in the transferred data (the
+	// device itself stays intact — a transient bus/DMA error).
+	var flips []bitFlip
+	if m.faults != nil {
+		for j := j0; j <= j1; j++ {
+			switch m.faults.ReadFault() {
+			case faultsim.ReadErr:
+				m.stats.FaultsInjected++
+				return nil, fmt.Errorf("lfm: page %d: %w", (f.off+j*m.pageSize)/m.pageSize, ErrReadFault)
+			case faultsim.PageCorrupt:
+				m.stats.FaultsInjected++
+				flips = append(flips, bitFlip{
+					page: j,
+					pos:  m.faults.Intn(int(m.pageSize)),
+					mask: 1 << m.faults.Intn(8),
+				})
 			}
 		}
 	}
+
+	if m.verify {
+		return m.readVerified(h, f, off, n, j0, j1, flips)
+	}
+
 	out := make([]byte, n)
 	if err := m.devRead(f.off+off, out); err != nil {
 		return nil, err
 	}
+	for _, fl := range flips {
+		// Apply the flip where the corrupted page position overlaps the
+		// requested range.
+		abs := fl.page*m.pageSize + uint64(fl.pos)
+		if abs >= off && abs < off+n {
+			out[abs-off] ^= fl.mask
+		}
+	}
+	m.stats.Reads++
+	m.stats.BytesRead += n
+	m.stats.PageReads += m.pagesSpanned(f.off+off, n)
+	return out, nil
+}
+
+// readVerified transfers the full pages the range touches, applies any
+// injected in-transfer corruption, verifies each page against the
+// field's checksum table, and slices out the requested range. It counts
+// the same page I/O the unverified path would — verification inspects
+// only pages the read already paid for.
+func (m *Manager) readVerified(h Handle, f field, off, n, j0, j1 uint64, flips []bitFlip) ([]byte, error) {
+	base := j0 * m.pageSize
+	end := (j1 + 1) * m.pageSize
+	if end > f.size {
+		end = f.size
+	}
+	buf := make([]byte, end-base)
+	if err := m.devRead(f.off+base, buf); err != nil {
+		return nil, err
+	}
+	for _, fl := range flips {
+		pos := fl.page*m.pageSize + uint64(fl.pos) - base
+		if pos < uint64(len(buf)) {
+			buf[pos] ^= fl.mask
+		}
+	}
+	sums := m.sums[h]
+	for j := j0; j <= j1; j++ {
+		lo := j*m.pageSize - base
+		hi := lo + m.pageSize
+		if hi > uint64(len(buf)) {
+			hi = uint64(len(buf))
+		}
+		if int(j) >= len(sums) || crc32.ChecksumIEEE(buf[lo:hi]) != sums[j] {
+			m.stats.ChecksumFailures++
+			m.stats.Reads++
+			m.stats.PageReads += m.pagesSpanned(f.off+off, n)
+			return nil, fmt.Errorf("lfm: field %d page %d: %w", h, j, ErrChecksum)
+		}
+	}
+	out := make([]byte, n)
+	copy(out, buf[off-base:])
 	m.stats.Reads++
 	m.stats.BytesRead += n
 	m.stats.PageReads += m.pagesSpanned(f.off+off, n)
@@ -316,6 +486,7 @@ func (m *Manager) Free(h Handle) error {
 		return ErrUnknownHandle
 	}
 	delete(m.fields, h)
+	delete(m.sums, h)
 	m.freeBlock(f.off, f.order)
 	return nil
 }
@@ -367,8 +538,38 @@ func (m *Manager) CheckInvariants() error {
 	return nil
 }
 
-// devWrite stores data at the device offset.
+// devWrite stores data at the device offset, page by page so the fault
+// policy can fail or tear individual pages. A WriteErr aborts mid-write
+// (pages already written stay written — a torn multi-page write the
+// caller sees as an error); a TornWrite silently stores only the first
+// half of that page's chunk and reports success, to be caught later by
+// checksum verification.
 func (m *Manager) devWrite(off uint64, data []byte) error {
+	for len(data) > 0 {
+		n := m.pageSize - off%m.pageSize
+		if n > uint64(len(data)) {
+			n = uint64(len(data))
+		}
+		chunk := data[:n]
+		switch m.faults.WriteFault() {
+		case faultsim.WriteErr:
+			m.stats.FaultsInjected++
+			return fmt.Errorf("lfm: page %d: %w", off/m.pageSize, ErrWriteFault)
+		case faultsim.TornWrite:
+			m.stats.FaultsInjected++
+			chunk = chunk[:(n+1)/2]
+		}
+		if err := m.devWriteRaw(off, chunk); err != nil {
+			return err
+		}
+		off += n
+		data = data[n:]
+	}
+	return nil
+}
+
+// devWriteRaw stores bytes at the device offset with no fault policy.
+func (m *Manager) devWriteRaw(off uint64, data []byte) error {
 	if m.file != nil {
 		if _, err := m.file.WriteAt(data, int64(off)); err != nil {
 			return fmt.Errorf("lfm: device write at %d: %w", off, err)

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"qbism/internal/faultsim"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -120,11 +122,16 @@ func TestPageAccounting(t *testing.T) {
 }
 
 func TestStatsSub(t *testing.T) {
-	a := Stats{PageReads: 10, PageWrites: 5, BytesRead: 100, BytesWritten: 50, Reads: 3, Writes: 2}
-	b := Stats{PageReads: 4, PageWrites: 1, BytesRead: 40, BytesWritten: 10, Reads: 1, Writes: 1}
+	a := Stats{PageReads: 10, PageWrites: 5, BytesRead: 100, BytesWritten: 50, Reads: 3, Writes: 2,
+		FaultsInjected: 7, ChecksumFailures: 4}
+	b := Stats{PageReads: 4, PageWrites: 1, BytesRead: 40, BytesWritten: 10, Reads: 1, Writes: 1,
+		FaultsInjected: 2, ChecksumFailures: 1}
 	d := a.Sub(b)
 	if d.PageReads != 6 || d.PageWrites != 4 || d.BytesRead != 60 || d.BytesWritten != 40 || d.Reads != 2 || d.Writes != 1 {
 		t.Errorf("Sub = %+v", d)
+	}
+	if d.FaultsInjected != 5 || d.ChecksumFailures != 3 {
+		t.Errorf("fault counters = %+v", d)
 	}
 }
 
@@ -205,23 +212,173 @@ func TestReadFaultInjection(t *testing.T) {
 	m, _ := New(1<<20, 4096)
 	data := make([]byte, 2*4096)
 	h, _ := m.Allocate(data)
-	boom := errors.New("media error")
-	m.ReadFault = func(page uint64) error {
-		if page == 1 {
-			return boom
-		}
-		return nil
-	}
-	if _, err := m.Read(h); !errors.Is(err, boom) {
+	// Each page touched by a read is one fault decision; op 2 is the
+	// second page of the full read below.
+	m.SetFaults(faultsim.New(faultsim.Policy{Schedule: []faultsim.Scheduled{
+		{Op: 2, Kind: faultsim.ReadErr},
+	}}))
+	if _, err := m.Read(h); !errors.Is(err, ErrReadFault) {
 		t.Errorf("fault not surfaced: %v", err)
 	}
-	// Reads not touching the bad page still work.
+	if m.Stats().FaultsInjected != 1 {
+		t.Errorf("FaultsInjected = %d", m.Stats().FaultsInjected)
+	}
+	// Subsequent reads (past the schedule) still work.
 	if _, err := m.ReadAt(h, 0, 10); err != nil {
 		t.Errorf("good page read failed: %v", err)
 	}
-	m.ReadFault = nil
+	m.SetFaults(nil)
 	if _, err := m.Read(h); err != nil {
-		t.Errorf("read after clearing fault: %v", err)
+		t.Errorf("read after clearing faults: %v", err)
+	}
+}
+
+func TestWriteFaultTyped(t *testing.T) {
+	m, _ := New(1<<20, 4096)
+	m.SetFaults(faultsim.New(faultsim.Policy{Schedule: []faultsim.Scheduled{
+		{Op: 1, Kind: faultsim.WriteErr},
+	}}))
+	if _, err := m.Allocate(make([]byte, 4096)); !errors.Is(err, ErrWriteFault) {
+		t.Fatalf("write fault not surfaced: %v", err)
+	}
+	// The failed allocation must not leak its block.
+	if m.FreePages() != m.Capacity()/4096 {
+		t.Errorf("failed alloc leaked pages: %d free of %d", m.FreePages(), m.Capacity()/4096)
+	}
+	if m.Stats().FaultsInjected != 1 {
+		t.Errorf("FaultsInjected = %d", m.Stats().FaultsInjected)
+	}
+}
+
+// TestChecksumCatchesBitFlip is the regression test for the integrity
+// layer: a single flipped bit in a stored blob (e.g. a REGION long
+// field) must fail the read with ErrChecksum, never return silently
+// corrupted bytes.
+func TestChecksumCatchesBitFlip(t *testing.T) {
+	m, _ := New(1<<20, 4096)
+	if err := m.EnableChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.ChecksumsEnabled() {
+		t.Fatal("checksums not enabled")
+	}
+	blob := make([]byte, 3*4096+17) // odd tail: last page is short
+	for i := range blob {
+		blob[i] = byte(i * 31)
+	}
+	h, err := m.Allocate(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the middle page, at rest, behind the checksum table.
+	if err := m.Corrupt(h, 5000, 0x10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(h); !errors.Is(err, ErrChecksum) {
+		t.Errorf("full read: want ErrChecksum, got %v", err)
+	}
+	if m.Stats().ChecksumFailures == 0 {
+		t.Error("ChecksumFailures not counted")
+	}
+	// A read confined to clean pages still verifies and succeeds.
+	got, err := m.ReadAt(h, 0, 100)
+	if err != nil || !bytes.Equal(got, blob[:100]) {
+		t.Errorf("clean-page read: %q, %v", got[:5], err)
+	}
+	// And the short tail page verifies too.
+	if _, err := m.ReadAt(h, 3*4096, 17); err != nil {
+		t.Errorf("tail page read: %v", err)
+	}
+	// Overwriting repairs the field (fresh checksums).
+	if err := m.Overwrite(h, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err = m.Read(h)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Errorf("read after repair: %v", err)
+	}
+}
+
+func TestChecksumWithoutVerifyIsSilent(t *testing.T) {
+	// Without checksums, at-rest corruption is silent — the hazard the
+	// integrity layer exists to remove.
+	m, _ := New(1<<20, 4096)
+	blob := []byte("pristine contents")
+	h, _ := m.Allocate(blob)
+	if err := m.Corrupt(h, 3, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, blob) {
+		t.Error("corruption did not take")
+	}
+}
+
+func TestEnableChecksumsCoversExistingFields(t *testing.T) {
+	m, _ := New(1<<20, 4096)
+	blob := make([]byte, 2*4096)
+	blob[100] = 42
+	h, _ := m.Allocate(blob)
+	if err := m.EnableChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableChecksums(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if got, err := m.Read(h); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("read after enable: %v", err)
+	}
+	if err := m.Corrupt(h, 100, 0x01); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(h); !errors.Is(err, ErrChecksum) {
+		t.Errorf("want ErrChecksum, got %v", err)
+	}
+}
+
+func TestTornWriteDetectedByChecksum(t *testing.T) {
+	m, _ := New(1<<20, 4096)
+	if err := m.EnableChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	// Op 1 is the write's single page chunk: tear it. The write reports
+	// success — the torn page is only caught on read.
+	m.SetFaults(faultsim.New(faultsim.Policy{Schedule: []faultsim.Scheduled{
+		{Op: 1, Kind: faultsim.TornWrite},
+	}}))
+	h, err := m.Allocate(data)
+	if err != nil {
+		t.Fatalf("torn write must report success, got %v", err)
+	}
+	if _, err := m.Read(h); !errors.Is(err, ErrChecksum) {
+		t.Errorf("torn page not detected: %v", err)
+	}
+}
+
+func TestPageCorruptDetectedByChecksum(t *testing.T) {
+	m, _ := New(1<<20, 4096)
+	if err := m.EnableChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 2*4096)
+	h, _ := m.Allocate(data)
+	// In-transfer corruption on the first page of the next read.
+	m.SetFaults(faultsim.New(faultsim.Policy{Schedule: []faultsim.Scheduled{
+		{Op: 1, Kind: faultsim.PageCorrupt},
+	}}))
+	if _, err := m.Read(h); !errors.Is(err, ErrChecksum) {
+		t.Errorf("in-transfer corruption not detected: %v", err)
+	}
+	// The device itself is intact: the re-read succeeds.
+	if got, err := m.Read(h); err != nil || !bytes.Equal(got, data) {
+		t.Errorf("re-read after transient corruption: %v", err)
 	}
 }
 

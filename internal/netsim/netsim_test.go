@@ -1,11 +1,15 @@
 package netsim
 
 import (
+	"bytes"
 	"errors"
+	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"qbism/internal/costmodel"
+	"qbism/internal/faultsim"
 )
 
 func TestCallRoundTrip(t *testing.T) {
@@ -60,17 +64,35 @@ func TestMessageAccounting(t *testing.T) {
 		t.Errorf("SimTime = %d, %v", msgs, secs)
 	}
 	l.ResetStats()
-	if l.Stats() != (Stats{}) {
-		t.Error("ResetStats did not clear")
+	if s := l.Stats(); s.Calls != 0 || s.Messages != 0 || s.Bytes != 0 || len(s.PerMethod) != 0 {
+		t.Errorf("ResetStats did not clear: %+v", s)
 	}
 }
 
 func TestStatsSub(t *testing.T) {
-	a := Stats{Calls: 5, Messages: 10, Bytes: 100}
-	b := Stats{Calls: 2, Messages: 4, Bytes: 30}
+	a := Stats{Calls: 5, Messages: 10, Bytes: 100, Drops: 4, Timeouts: 3, Corruptions: 2,
+		Tampers: 2, Latencies: 5, LatencySim: 9 * time.Millisecond, Retries: 6,
+		PerMethod: map[string]MethodFaults{
+			"q": {Drops: 4, Timeouts: 3, Corruptions: 2, Tampers: 2},
+			"r": {Drops: 1},
+		}}
+	b := Stats{Calls: 2, Messages: 4, Bytes: 30, Drops: 1, Timeouts: 1, Corruptions: 1,
+		Tampers: 1, Latencies: 2, LatencySim: 4 * time.Millisecond, Retries: 2,
+		PerMethod: map[string]MethodFaults{
+			"q": {Drops: 2, Timeouts: 1},
+			"r": {Drops: 1}, // delta zero: must be omitted
+		}}
 	d := a.Sub(b)
 	if d.Calls != 3 || d.Messages != 6 || d.Bytes != 70 {
 		t.Errorf("Sub = %+v", d)
+	}
+	if d.Drops != 3 || d.Timeouts != 2 || d.Corruptions != 1 || d.Tampers != 1 ||
+		d.Latencies != 3 || d.LatencySim != 5*time.Millisecond || d.Retries != 4 {
+		t.Errorf("fault deltas = %+v", d)
+	}
+	wantPer := map[string]MethodFaults{"q": {Drops: 2, Timeouts: 2, Corruptions: 2, Tampers: 2}}
+	if !reflect.DeepEqual(d.PerMethod, wantPer) {
+		t.Errorf("PerMethod delta = %+v, want %+v", d.PerMethod, wantPer)
 	}
 }
 
@@ -90,5 +112,139 @@ func TestConcurrentCalls(t *testing.T) {
 	wg.Wait()
 	if s := l.Stats(); s.Calls != 100 {
 		t.Errorf("calls = %d, want 100", s.Calls)
+	}
+}
+
+func TestConcurrentCallsUnderFaults(t *testing.T) {
+	// Faulty links must stay race-free and never panic; every call
+	// either succeeds or fails with a typed error.
+	l := NewLink(costmodel.Default1993())
+	l.Register("inc", func(req []byte) ([]byte, error) { return req, nil })
+	l.SetFaults(faultsim.New(faultsim.Policy{
+		Seed: 11, DropProb: 0.1, TimeoutProb: 0.1, CorruptProb: 0.1, TamperProb: 0.1,
+		LatencyProb: 0.1, ExtraLatency: time.Millisecond,
+	}))
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := l.Call("inc", []byte{1, 2, 3})
+			if err != nil && !errors.Is(err, ErrDropped) && !errors.Is(err, ErrLinkTimeout) && !errors.Is(err, ErrCorrupt) {
+				t.Errorf("untyped error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestScheduledFaultsTyped(t *testing.T) {
+	// Ops count payload crossings: op 1 = request of call 1, op 2 =
+	// response of call 1 (when the request survived), and so on.
+	l := NewLink(costmodel.Default1993())
+	l.Register("m", func(req []byte) ([]byte, error) { return []byte("ok"), nil })
+	l.SetFaults(faultsim.New(faultsim.Policy{Schedule: []faultsim.Scheduled{
+		{Op: 1, Kind: faultsim.Drop},    // call 1: request dropped
+		{Op: 2, Kind: faultsim.Timeout}, // call 2: request times out
+		{Op: 4, Kind: faultsim.Corrupt}, // call 3: response corrupted (op 3 = its request)
+	}}))
+	if _, err := l.Call("m", []byte("a")); !errors.Is(err, ErrDropped) {
+		t.Errorf("call 1: %v", err)
+	}
+	if _, err := l.Call("m", []byte("b")); !errors.Is(err, ErrLinkTimeout) {
+		t.Errorf("call 2: %v", err)
+	}
+	if _, err := l.Call("m", []byte("c")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("call 3: %v", err)
+	}
+	s := l.Stats()
+	if s.Drops != 1 || s.Timeouts != 1 || s.Corruptions != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	want := MethodFaults{Drops: 1, Timeouts: 1, Corruptions: 1}
+	if s.PerMethod["m"] != want {
+		t.Errorf("PerMethod[m] = %+v, want %+v", s.PerMethod["m"], want)
+	}
+}
+
+func TestTamperFlipsExactlyOneByte(t *testing.T) {
+	l := NewLink(costmodel.Default1993())
+	var seen []byte
+	l.Register("m", func(req []byte) ([]byte, error) { seen = append([]byte(nil), req...); return nil, nil })
+	l.SetFaults(faultsim.New(faultsim.Policy{Schedule: []faultsim.Scheduled{{Op: 1, Kind: faultsim.Tamper}}}))
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	sent := append([]byte(nil), orig...)
+	if _, err := l.Call("m", sent); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sent, orig) {
+		t.Error("caller's buffer was mutated")
+	}
+	diff := 0
+	for i := range orig {
+		if seen[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ, want exactly 1 (delivered %v)", diff, seen)
+	}
+	if l.Stats().Tampers != 1 || l.Stats().PerMethod["m"].Tampers != 1 {
+		t.Errorf("tamper counters = %+v", l.Stats())
+	}
+}
+
+func TestInjectedLatencyPriced(t *testing.T) {
+	m := costmodel.Default1993()
+	l := NewLink(m)
+	l.Register("m", func(req []byte) ([]byte, error) { return nil, nil })
+	l.SetFaults(faultsim.New(faultsim.Policy{
+		ExtraLatency: 500 * time.Millisecond,
+		Schedule:     []faultsim.Scheduled{{Op: 1, Kind: faultsim.Latency}},
+	}))
+	if _, err := l.Call("m", nil); err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.Latencies != 1 || s.LatencySim != 500*time.Millisecond {
+		t.Errorf("latency stats = %+v", s)
+	}
+	_, secs := l.SimTime()
+	base := m.NetworkTime(s.Messages).Seconds()
+	if secs < base+0.5 {
+		t.Errorf("SimTime %.3fs does not include the injected 0.5s (base %.3fs)", secs, base)
+	}
+}
+
+func TestNoteRetry(t *testing.T) {
+	l := NewLink(costmodel.Default1993())
+	l.NoteRetry()
+	l.NoteRetry()
+	if l.Stats().Retries != 2 {
+		t.Errorf("retries = %d", l.Stats().Retries)
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	// Two links with the same policy seed and the same call sequence
+	// must produce identical stats.
+	run := func() Stats {
+		l := NewLink(costmodel.Default1993())
+		l.Register("m", func(req []byte) ([]byte, error) { return make([]byte, 2048), nil })
+		l.SetFaults(faultsim.New(faultsim.Policy{
+			Seed: 42, DropProb: 0.15, TimeoutProb: 0.1, CorruptProb: 0.1, TamperProb: 0.1,
+			LatencyProb: 0.1, ExtraLatency: 3 * time.Millisecond,
+		}))
+		for i := 0; i < 400; i++ {
+			l.Call("m", []byte{byte(i)})
+		}
+		return l.Stats()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("stats diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Drops == 0 || a.Timeouts == 0 || a.Corruptions == 0 || a.Tampers == 0 || a.Latencies == 0 {
+		t.Errorf("expected every fault kind to fire across 400 calls: %+v", a)
 	}
 }

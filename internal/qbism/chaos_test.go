@@ -1,0 +1,300 @@
+package qbism
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"qbism/internal/faultsim"
+	"qbism/internal/netsim"
+	"qbism/internal/rencode"
+)
+
+// chaosBaseConfig is a small, fast system for chaos runs. Checksums are
+// on so silent device corruption is detectable end to end.
+func chaosBaseConfig() Config {
+	return Config{
+		Bits:         4,
+		NumPET:       2,
+		NumMRI:       1,
+		Seed:         11,
+		Method:       rencode.Naive,
+		SmallStudies: true,
+		StoreRaw:     true,
+		Checksums:    true,
+	}
+}
+
+// chaosLinkPolicy and chaosDevicePolicy keep the per-decision fault rate
+// at or below 10% combined while exercising every fault kind, including
+// the silent ones (Tamper, PageCorrupt) that only the integrity layer
+// can catch.
+func chaosLinkPolicy(seed uint64) *faultsim.Policy {
+	return &faultsim.Policy{
+		Seed: seed, DropProb: 0.02, TimeoutProb: 0.02, LatencyProb: 0.02,
+		CorruptProb: 0.015, TamperProb: 0.015, ExtraLatency: 5e6, // 5ms
+	}
+}
+
+func chaosDevicePolicy(seed uint64) *faultsim.Policy {
+	// Device decisions happen per page touched; at Bits:4 a query only
+	// touches a couple of pages, so 2%+2% keeps the per-query device
+	// fault rate in the same ballpark as the link's.
+	return &faultsim.Policy{Seed: seed, ReadErrProb: 0.02, PageCorruptProb: 0.02}
+}
+
+// chaosSpecPool returns the query mix: full studies, boxes, structures,
+// stored bands, and mixed band+structure queries across all studies.
+func chaosSpecPool(s *System) []QuerySpec {
+	var pool []QuerySpec
+	box := [6]uint32{2, 2, 2, 11, 11, 11}
+	for _, st := range s.Studies {
+		id := st.StudyID
+		pool = append(pool,
+			QuerySpec{StudyID: id, Atlas: "Talairach", FullStudy: true},
+			QuerySpec{StudyID: id, Atlas: "Talairach", Box: &box},
+			QuerySpec{StudyID: id, Atlas: "Talairach", Structure: "ntal"},
+			QuerySpec{StudyID: id, Atlas: "Talairach", Structure: "putamen"},
+		)
+		for _, b := range s.BandRegions[id] {
+			pool = append(pool, QuerySpec{StudyID: id, Atlas: "Talairach", HasBand: true, BandLo: int(b.Lo), BandHi: int(b.Hi)})
+			pool = append(pool, QuerySpec{StudyID: id, Atlas: "Talairach", HasBand: true, BandLo: int(b.Lo), BandHi: int(b.Hi), Structure: "ntal"})
+			if len(pool) > 40 {
+				break
+			}
+		}
+	}
+	return pool
+}
+
+// marshalResult canonicalizes a query result for byte comparison.
+func marshalResult(t *testing.T, s *System, res *QueryResult) []byte {
+	t.Helper()
+	blob, err := MarshalDataRegion(res.Data, s.Cfg.Method)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestChaosQueries is the headline robustness check: several hundred
+// queries against a system with faults injected on both the link and the
+// device. Every query must either return bytes identical to the
+// fault-free run or fail with a typed, classified error — never panic,
+// never silently return corrupted data — and with retries enabled the
+// success rate must stay at or above 95%.
+func TestChaosQueries(t *testing.T) {
+	clean, err := New(chaosBaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := chaosSpecPool(clean)
+	want := make(map[string][]byte)
+	for _, spec := range pool {
+		res, err := clean.RunQuery(spec)
+		if err != nil {
+			t.Fatalf("fault-free baseline failed for %s: %v", spec.Label(), err)
+		}
+		want[spec.Key()] = marshalResult(t, clean, res)
+	}
+	if len(pool) < 12 {
+		t.Fatalf("spec pool too small: %d", len(pool))
+	}
+
+	cfg := chaosBaseConfig()
+	cfg.LinkFaults = chaosLinkPolicy(101)
+	cfg.DeviceFaults = chaosDevicePolicy(202)
+	cfg.Retry = DefaultRetryPolicy()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const queries = 300
+	pick := faultsim.NewRand(999)
+	succeeded, retried := 0, 0
+	for i := 0; i < queries; i++ {
+		spec := pool[pick.Intn(len(pool))]
+		res, err := sys.RunQuery(spec)
+		if err != nil {
+			if !RetryableError(err) {
+				t.Fatalf("query %d (%s): fatal-classified error escaped: %v", i, spec.Label(), err)
+			}
+			continue
+		}
+		succeeded++
+		retried += res.Retry.Retries
+		if got := marshalResult(t, sys, res); !bytes.Equal(got, want[spec.Key()]) {
+			t.Fatalf("query %d (%s): silent corruption — result differs from fault-free run (degraded=%v)",
+				i, spec.Label(), res.Meta.Degraded)
+		}
+		if res.Retry.Retries > 0 && res.Timing.RetrySim == 0 {
+			t.Errorf("query %d: %d retries but no simulated backoff", i, res.Retry.Retries)
+		}
+	}
+	if rate := float64(succeeded) / queries; rate < 0.95 {
+		t.Errorf("success rate %.3f < 0.95 (%d/%d)", rate, succeeded, queries)
+	}
+	if retried == 0 {
+		t.Error("no retries happened — fault injection appears inert")
+	}
+
+	ls := sys.Link.Stats()
+	if ls.Drops+ls.Timeouts+ls.Corruptions+ls.Tampers == 0 {
+		t.Errorf("no link faults fired: %+v", ls)
+	}
+	if int(ls.Retries) != retried {
+		t.Errorf("link retries %d != summed query retries %d", ls.Retries, retried)
+	}
+	if sys.DeviceFaults.Count(faultsim.ReadErr)+sys.DeviceFaults.Count(faultsim.PageCorrupt) == 0 {
+		t.Error("no device faults fired")
+	}
+	t.Logf("chaos: %d/%d ok, %d retries, link faults %d/%d/%d/%d, device faults %v",
+		succeeded, queries, retried, ls.Drops, ls.Timeouts, ls.Corruptions, ls.Tampers,
+		sys.DeviceFaults.Counts())
+}
+
+// TestChaosDeterminism runs the same chaos workload twice on identically
+// configured systems: stats, fault counters, and every per-query outcome
+// must match exactly.
+func TestChaosDeterminism(t *testing.T) {
+	type outcome struct {
+		OK      bool
+		Retries int
+		Blob    string
+	}
+	run := func() ([]outcome, map[faultsim.Kind]uint64, map[faultsim.Kind]uint64) {
+		cfg := chaosBaseConfig()
+		cfg.LinkFaults = chaosLinkPolicy(7)
+		cfg.DeviceFaults = chaosDevicePolicy(8)
+		cfg.Retry = DefaultRetryPolicy()
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := chaosSpecPool(sys)
+		pick := faultsim.NewRand(55)
+		var outs []outcome
+		for i := 0; i < 120; i++ {
+			spec := pool[pick.Intn(len(pool))]
+			res, err := sys.RunQuery(spec)
+			o := outcome{OK: err == nil}
+			if err == nil {
+				o.Retries = res.Retry.Retries
+				o.Blob = string(marshalResult(t, sys, res))
+			}
+			outs = append(outs, o)
+		}
+		return outs, sys.LinkFaults.Counts(), sys.DeviceFaults.Counts()
+	}
+	o1, l1, d1 := run()
+	o2, l2, d2 := run()
+	if !reflect.DeepEqual(o1, o2) {
+		t.Error("per-query outcomes diverged between identical runs")
+	}
+	if !reflect.DeepEqual(l1, l2) || !reflect.DeepEqual(d1, d2) {
+		t.Errorf("fault counters diverged: link %v vs %v, device %v vs %v", l1, l2, d1, d2)
+	}
+}
+
+// TestDegradedBandRecompute corrupts a stored intensityBand REGION at
+// rest and checks the server degrades to recomputing the band from the
+// VOLUME: the query succeeds, is marked Degraded with a warning, and the
+// voxel bytes are identical to the healthy fast path.
+func TestDegradedBandRecompute(t *testing.T) {
+	sys, err := New(chaosBaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := sys.Studies[0].StudyID
+	bands := sys.BandRegions[study]
+	if len(bands) == 0 {
+		t.Fatal("study has no stored bands")
+	}
+	b := bands[len(bands)/2]
+	spec := QuerySpec{StudyID: study, Atlas: "Talairach", HasBand: true, BandLo: int(b.Lo), BandHi: int(b.Hi)}
+
+	healthy, err := sys.RunQuery(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Meta.Degraded {
+		t.Fatalf("healthy run already degraded: %s", healthy.Meta.Warning)
+	}
+
+	// Flip one stored bit of the band's REGION long field, behind the
+	// checksum table (simulated bit rot).
+	res, err := sys.DB.Exec(fmt.Sprintf(
+		"select ib.region from intensityBand ib where ib.studyId = %d and ib.lo = %d and ib.hi = %d and ib.encoding = '%s'",
+		study, b.Lo, b.Hi, EncHilbertNaive))
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("band row lookup: %d rows, %v", len(res.Rows), err)
+	}
+	h := res.Rows[0][0].L
+	if err := sys.LFM.Corrupt(h, 3, 0x40); err != nil {
+		t.Fatal(err)
+	}
+
+	degraded, err := sys.RunQuery(spec)
+	if err != nil {
+		t.Fatalf("corrupted band did not degrade, it failed: %v", err)
+	}
+	if !degraded.Meta.Degraded || degraded.Meta.Warning == "" {
+		t.Errorf("not marked degraded: %+v", degraded.Meta)
+	}
+	t.Log(degraded.Meta.Warning)
+	hb := marshalResult(t, sys, healthy)
+	db := marshalResult(t, sys, degraded)
+	if !bytes.Equal(hb, db) {
+		t.Error("degraded result differs from fast path")
+	}
+	if sys.LFM.Stats().ChecksumFailures == 0 {
+		t.Error("checksum failure not counted")
+	}
+	// The slow path costs a full VOLUME read, so it must touch at least
+	// as many pages as the fast path did.
+	if degraded.Timing.LFMPages < healthy.Timing.LFMPages {
+		t.Errorf("slow path pages %d < fast path %d", degraded.Timing.LFMPages, healthy.Timing.LFMPages)
+	}
+
+	// Mixed band+structure queries take the same fallback.
+	mixed := spec
+	mixed.Structure = "ntal"
+	mres, err := sys.RunQuery(mixed)
+	if err != nil {
+		t.Fatalf("mixed degraded query failed: %v", err)
+	}
+	if !mres.Meta.Degraded {
+		t.Error("mixed query not marked degraded")
+	}
+}
+
+// TestRetryExhaustionIsTyped drives the link at a 100% drop rate: every
+// query must fail after exactly MaxAttempts tries with a typed,
+// retryable error — proof the client never spins forever and never
+// converts exhaustion into an untyped failure.
+func TestRetryExhaustionIsTyped(t *testing.T) {
+	cfg := chaosBaseConfig()
+	cfg.LinkFaults = &faultsim.Policy{DropProb: 1.0}
+	cfg.Retry = RetryPolicy{MaxAttempts: 3}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := QuerySpec{StudyID: sys.Studies[0].StudyID, Atlas: "Talairach", FullStudy: true}
+	_, qerr := sys.RunQuery(spec)
+	if qerr == nil {
+		t.Fatal("query succeeded across a dead link")
+	}
+	if !errors.Is(qerr, netsim.ErrDropped) {
+		t.Errorf("not a drop error: %v", qerr)
+	}
+	if !RetryableError(qerr) {
+		t.Errorf("exhaustion error lost its retryable classification: %v", qerr)
+	}
+	if got := sys.Link.Stats().Retries; got != 2 {
+		t.Errorf("retries = %d, want 2 (3 attempts)", got)
+	}
+}

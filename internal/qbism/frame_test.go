@@ -1,0 +1,112 @@
+package qbism
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct{ header, body []byte }{
+		{[]byte(`{"n":32}`), []byte("voxels")},
+		{nil, nil},
+		{[]byte("h"), nil},
+		{nil, make([]byte, 10000)},
+	}
+	for i, c := range cases {
+		f := encodeFrame(c.header, c.body)
+		h, b, err := decodeFrame(f)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(h, c.header) || !bytes.Equal(b, c.body) {
+			t.Errorf("case %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestFrameDetectsEveryBitFlip(t *testing.T) {
+	f := encodeFrame([]byte(`{"studyId":1}`), []byte{1, 2, 3, 4, 5})
+	for pos := 0; pos < len(f); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			dam := append([]byte(nil), f...)
+			dam[pos] ^= 1 << bit
+			_, _, err := decodeFrame(dam)
+			if err == nil {
+				t.Fatalf("flip at byte %d bit %d undetected", pos, bit)
+			}
+			if !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, ErrFrameTruncated) {
+				t.Fatalf("flip at byte %d bit %d: untyped error %v", pos, bit, err)
+			}
+		}
+	}
+}
+
+func TestFrameDetectsTruncation(t *testing.T) {
+	f := encodeFrame([]byte("header"), []byte("body bytes"))
+	for n := 0; n < len(f); n++ {
+		_, _, err := decodeFrame(f[:n])
+		if !errors.Is(err, ErrFrameTruncated) && !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("truncation to %d bytes: %v", n, err)
+		}
+	}
+	// Trailing garbage is corruption, not a longer frame.
+	if _, _, err := decodeFrame(append(append([]byte(nil), f...), 0xFF)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Errorf("trailing byte: %v", err)
+	}
+}
+
+func TestFrameHugeDeclaredLength(t *testing.T) {
+	// A corrupted length field must not cause a slice panic or a huge
+	// allocation — just a typed error.
+	f := encodeFrame([]byte("hh"), []byte("bb"))
+	f[2], f[3], f[4], f[5] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := decodeFrame(f); !errors.Is(err, ErrFrameTruncated) {
+		t.Errorf("huge header length: %v", err)
+	}
+}
+
+func TestQuerySpecKeyDistinct(t *testing.T) {
+	// Distinct specs must never share a cache key (the old Key() ignored
+	// the Marshal error and could return "" for any failing spec).
+	box := [6]uint32{1, 2, 3, 4, 5, 6}
+	specs := []QuerySpec{
+		{StudyID: 1, Atlas: "Talairach", FullStudy: true},
+		{StudyID: 2, Atlas: "Talairach", FullStudy: true},
+		{StudyID: 1, Atlas: "Other", FullStudy: true},
+		{StudyID: 1, Atlas: "Talairach", Structure: "ntal"},
+		{StudyID: 1, Atlas: "Talairach", Structure: "putamen"},
+		{StudyID: 1, Atlas: "Talairach", Box: &box},
+		{StudyID: 1, Atlas: "Talairach", HasBand: true, BandLo: 0, BandHi: 31},
+		{StudyID: 1, Atlas: "Talairach", HasBand: true, BandLo: 32, BandHi: 63},
+		{StudyID: 1, Atlas: "Talairach", HasBand: true, BandLo: 32, BandHi: 63, Encoding: EncOctant},
+		{StudyID: 1, Atlas: "Talairach", HasBand: true, BandLo: 32, BandHi: 63, Structure: "ntal"},
+	}
+	seen := make(map[string]int)
+	for i, q := range specs {
+		k := q.Key()
+		if k == "" {
+			t.Errorf("spec %d: empty key", i)
+		}
+		if j, dup := seen[k]; dup {
+			t.Errorf("specs %d and %d collide on %q", j, i, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestQuerySpecKeyFallbackDistinct(t *testing.T) {
+	// The fallback key (used if Marshal ever fails) must also separate
+	// specs that Label() alone would conflate.
+	a := QuerySpec{StudyID: 1, Atlas: "A", FullStudy: true}
+	b := QuerySpec{StudyID: 1, Atlas: "B", FullStudy: true}
+	if a.Label() != b.Label() {
+		t.Fatal("test premise broken: labels differ")
+	}
+	fa := fmt.Sprintf("%s|atlas=%s|enc=%s", a.Label(), a.Atlas, a.Encoding)
+	fb := fmt.Sprintf("%s|atlas=%s|enc=%s", b.Label(), b.Atlas, b.Encoding)
+	if fa == fb {
+		t.Error("fallback keys collide")
+	}
+}

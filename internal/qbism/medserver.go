@@ -1,13 +1,16 @@
 package qbism
 
 import (
-	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
+	"qbism/internal/lfm"
+	"qbism/internal/region"
 	"qbism/internal/sdb"
+	"qbism/internal/volume"
 )
 
 // QuerySpec is the high-level query a user composes in the DX entry
@@ -34,9 +37,15 @@ type QuerySpec struct {
 	Encoding string `json:"encoding,omitempty"`
 }
 
-// Key returns a cache key identifying the query.
+// Key returns a cache key identifying the query. If the spec cannot be
+// marshaled (it cannot today, but Key must never silently collide) it
+// falls back to the human-readable label extended with the fields the
+// label omits, so distinct specs still get distinct keys.
 func (q QuerySpec) Key() string {
-	b, _ := json.Marshal(q)
+	b, err := json.Marshal(q)
+	if err != nil {
+		return fmt.Sprintf("%s|atlas=%s|enc=%s", q.Label(), q.Atlas, q.Encoding)
+	}
 	return string(b)
 }
 
@@ -78,18 +87,31 @@ type QueryMeta struct {
 
 	DBCPUNanos int64  `json:"dbCpuNanos"` // measured handler CPU (wall) time
 	LFMPages   uint64 `json:"lfmPages"`   // 4 KB pages read during the query
+
+	// Degraded is set when the server answered through a slow fallback
+	// path — e.g. the intensityBand REGION was missing or failed its
+	// checksum, so the band was recomputed from the stored VOLUME. The
+	// result is still exact; Warning says what happened.
+	Degraded bool   `json:"degraded,omitempty"`
+	Warning  string `json:"warning,omitempty"`
 }
 
 // medicalQueryMethod is the RPC method name on the link.
 const medicalQueryMethod = "medicalQuery"
 
 // registerMedicalServer installs the MedicalServer RPC handler: it
-// receives a QuerySpec, generates and executes the SQL, and returns the
-// response payload (meta header + DataRegion blob).
+// receives a framed QuerySpec, generates and executes the SQL, and
+// returns the framed response (meta header + DataRegion blob). The
+// frame CRC on the way in means a request corrupted in flight fails
+// with a typed, retryable error instead of executing a different query.
 func (s *System) registerMedicalServer() {
 	s.Link.Register(medicalQueryMethod, func(request []byte) ([]byte, error) {
+		specJSON, _, err := decodeFrame(request)
+		if err != nil {
+			return nil, fmt.Errorf("qbism: request: %w", err)
+		}
 		var spec QuerySpec
-		if err := json.Unmarshal(request, &spec); err != nil {
+		if err := json.Unmarshal(specJSON, &spec); err != nil {
 			return nil, fmt.Errorf("qbism: bad query spec: %v", err)
 		}
 		start := time.Now()
@@ -99,9 +121,13 @@ func (s *System) registerMedicalServer() {
 		if err != nil {
 			return nil, err
 		}
-		blob, err := s.runDataQuery(spec)
+		blob, warning, err := s.runDataQuery(spec)
 		if err != nil {
 			return nil, err
+		}
+		if warning != "" {
+			meta.Degraded = true
+			meta.Warning = warning
 		}
 
 		meta.DBCPUNanos = time.Since(start).Nanoseconds()
@@ -110,11 +136,7 @@ func (s *System) registerMedicalServer() {
 		if err != nil {
 			return nil, err
 		}
-		resp := make([]byte, 4+len(header)+len(blob))
-		binary.BigEndian.PutUint32(resp, uint32(len(header)))
-		copy(resp[4:], header)
-		copy(resp[4+len(header):], blob)
-		return resp, nil
+		return encodeFrame(header, blob), nil
 	})
 }
 
@@ -148,7 +170,13 @@ where  a.atlasId = wv.atlasId and
 // marshaled DataRegion. The generated SQL mirrors the paper: a call to
 // extractVoxels() with, for mixed queries, intersection() nested inside
 // and additional joins.
-func (s *System) runDataQuery(spec QuerySpec) ([]byte, error) {
+//
+// Band queries degrade gracefully: when the stored intensityBand REGION
+// is missing, unreadable, or fails its checksum, the band is recomputed
+// from the stored VOLUME (the slow path — a full-volume scan, roughly
+// Q1's I/O cost) and the returned warning marks the answer Degraded.
+// The voxel bytes are identical to what the fast path would return.
+func (s *System) runDataQuery(spec QuerySpec) (blob []byte, warning string, err error) {
 	encoding := spec.Encoding
 	if encoding == "" {
 		encoding = EncHilbertNaive
@@ -200,21 +228,106 @@ where  wv.studyId = %d and
 			spec.StudyID, spec.BandLo, spec.BandHi, escapeSQL(encoding), escapeSQL(spec.Structure))
 
 	default:
-		return nil, fmt.Errorf("qbism: query spec selects nothing (set FullStudy, Box, Structure, or a band)")
+		return nil, "", fmt.Errorf("qbism: query spec selects nothing (set FullStudy, Box, Structure, or a band)")
 	}
 
 	res, err := s.DB.Exec(sql)
+	if spec.HasBand {
+		switch {
+		case err != nil && (errors.Is(err, lfm.ErrChecksum) || errors.Is(err, lfm.ErrReadFault)):
+			// The stored band REGION (or a joined region) is unreadable.
+			return s.bandSlowPath(spec, fmt.Sprintf(
+				"stored intensityBand [%d,%d] unreadable (%v); recomputed from VOLUME", spec.BandLo, spec.BandHi, err))
+		case err == nil && len(res.Rows) == 0:
+			// No matching intensityBand row — the band "index" is missing
+			// for this [lo,hi]; recompute rather than fail.
+			return s.bandSlowPath(spec, fmt.Sprintf(
+				"no stored intensityBand [%d,%d]; recomputed from VOLUME", spec.BandLo, spec.BandHi))
+		}
+	}
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
-		return nil, fmt.Errorf("qbism: data query returned %d rows (spec %s)", len(res.Rows), spec.Label())
+		return nil, "", fmt.Errorf("qbism: data query returned %d rows (spec %s)", len(res.Rows), spec.Label())
 	}
 	v := res.Rows[0][0]
 	if v.T != sdb.TBytes {
-		return nil, fmt.Errorf("qbism: data query returned %v, want DATA_REGION bytes", v.T)
+		return nil, "", fmt.Errorf("qbism: data query returned %v, want DATA_REGION bytes", v.T)
 	}
-	return v.Y, nil
+	return v.Y, "", nil
+}
+
+// bandSlowPath recomputes a band query from first principles: read the
+// whole warped VOLUME, rebuild the band REGION by scanning intensities,
+// intersect with the structure REGION if the query is mixed, and
+// extract. It produces byte-identical results to the intensityBand fast
+// path — the stored band REGIONs were built by exactly this scan at
+// load time — at full-volume-read cost.
+func (s *System) bandSlowPath(spec QuerySpec, warning string) ([]byte, string, error) {
+	if spec.BandLo < 0 || spec.BandHi > 255 || spec.BandLo > spec.BandHi {
+		return nil, "", fmt.Errorf("qbism: band [%d,%d] outside the 0-255 intensity range", spec.BandLo, spec.BandHi)
+	}
+	res, err := s.DB.Exec(fmt.Sprintf(`
+select wv.data
+from   warpedVolume wv, atlas a
+where  wv.studyId = %d and wv.atlasId = a.atlasId and a.atlasName = '%s'`,
+		spec.StudyID, escapeSQL(spec.Atlas)))
+	if err != nil {
+		return nil, "", err
+	}
+	if len(res.Rows) != 1 {
+		return nil, "", fmt.Errorf("qbism: no warped study %d in atlas %q", spec.StudyID, spec.Atlas)
+	}
+	volBytes, err := s.LFM.Read(res.Rows[0][0].L)
+	if err != nil {
+		return nil, "", fmt.Errorf("qbism: band slow path: %w", err)
+	}
+	vol, err := volume.New(s.Curve, volBytes)
+	if err != nil {
+		return nil, "", err
+	}
+	r, err := vol.Band(uint8(spec.BandLo), uint8(spec.BandHi))
+	if err != nil {
+		return nil, "", err
+	}
+	if spec.Structure != "" {
+		res, err := s.DB.Exec(fmt.Sprintf(`
+select as.region
+from   atlasStructure as, neuralStructure ns, atlas a
+where  a.atlasName = '%s' and as.atlasId = a.atlasId and
+       as.structureId = ns.structureId and ns.structureName = '%s'`,
+			escapeSQL(spec.Atlas), escapeSQL(spec.Structure)))
+		if err != nil {
+			return nil, "", err
+		}
+		if len(res.Rows) != 1 {
+			return nil, "", fmt.Errorf("qbism: no structure %q in atlas %q", spec.Structure, spec.Atlas)
+		}
+		sr, err := regionFromValue(s.DB, res.Rows[0][0])
+		if err != nil {
+			return nil, "", fmt.Errorf("qbism: band slow path: %w", err)
+		}
+		if sr.Curve().Kind() != s.Curve.Kind() {
+			if sr, err = sr.Recode(s.Curve); err != nil {
+				return nil, "", err
+			}
+		}
+		// Same operand order as the fast path's intersection(ib.region,
+		// as.region), so run layout and values match byte for byte.
+		if r, err = region.Intersect(r, sr); err != nil {
+			return nil, "", err
+		}
+	}
+	d, err := volume.Extract(vol, r)
+	if err != nil {
+		return nil, "", err
+	}
+	blob, err := MarshalDataRegion(d, s.Cfg.Method)
+	if err != nil {
+		return nil, "", err
+	}
+	return blob, warning, nil
 }
 
 // escapeSQL doubles single quotes for embedding in SQL literals.

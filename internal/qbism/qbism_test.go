@@ -212,8 +212,22 @@ func TestRunQueryErrors(t *testing.T) {
 	if _, err := s.RunQuery(QuerySpec{StudyID: 1, Atlas: "Talairach", Structure: "no-such"}); err == nil {
 		t.Error("unknown structure accepted")
 	}
-	if _, err := s.RunQuery(QuerySpec{StudyID: 1, Atlas: "Talairach", HasBand: true, BandLo: 3, BandHi: 9}); err == nil {
-		t.Error("unaligned band accepted")
+	// A band that matches no precomputed intensityBand row used to be an
+	// error; it now degrades to recomputing the band from the stored
+	// VOLUME and succeeds with a warning.
+	res, err := s.RunQuery(QuerySpec{StudyID: 1, Atlas: "Talairach", HasBand: true, BandLo: 3, BandHi: 9})
+	if err != nil {
+		t.Fatalf("unaligned band: %v", err)
+	}
+	if !res.Meta.Degraded || res.Meta.Warning == "" {
+		t.Errorf("unaligned band not marked degraded: %+v", res.Meta)
+	}
+	if res.Data == nil || res.Data.Region.Empty() {
+		t.Error("degraded band result empty")
+	}
+	// An out-of-range band is still a hard error, not degradable.
+	if _, err := s.RunQuery(QuerySpec{StudyID: 1, Atlas: "Talairach", HasBand: true, BandLo: 9, BandHi: 3}); err == nil {
+		t.Error("inverted band accepted")
 	}
 }
 

@@ -1,12 +1,12 @@
 package qbism
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"time"
 
 	"qbism/internal/dx"
+	"qbism/internal/faultsim"
 	"qbism/internal/volume"
 )
 
@@ -29,6 +29,7 @@ type QueryTiming struct {
 	ImportSim      time.Duration
 	RenderMeasured time.Duration
 	RenderSim      time.Duration
+	RetrySim       time.Duration // simulated backoff waits across retries
 	OtherSim       time.Duration
 	TotalSim       time.Duration
 	TotalMeasured  time.Duration
@@ -42,6 +43,9 @@ type QueryResult struct {
 	Field  *dx.Field
 	Image  *dx.Image
 	Timing QueryTiming
+	// Retry reports the query's resilience history: attempts, retries,
+	// and total simulated backoff.
+	Retry RetryStats
 }
 
 // RunQuery executes a query end to end under the paper's measurement
@@ -49,25 +53,48 @@ type QueryResult struct {
 // network to the MedicalServer, SQL runs in the database, the result
 // crosses back, DX imports it and renders an image. Every component's
 // work is counted and timed.
+//
+// The network exchange is resilient: both directions are CRC-framed so
+// corruption and truncation surface as typed errors, and transient
+// failures (drops, timeouts, corrupt frames, device read faults) are
+// retried per s.Retry with capped exponential backoff and deterministic
+// jitter. Backoff is simulated time — no real sleeping — accounted in
+// Timing.RetrySim.
 func (s *System) RunQuery(spec QuerySpec) (*QueryResult, error) {
 	s.Cache.Flush() // §6.1: "we flushed the DX cache before each run"
 	totalStart := time.Now()
 
-	request, err := json.Marshal(spec)
+	specJSON, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
 	}
+	request := encodeFrame(specJSON, nil)
+
+	pol := s.Retry.withDefaults()
+	jitter := faultsim.NewRand(queryJitterSeed(pol.Seed, spec.Key()))
+	var retry RetryStats
+
 	net0 := s.Link.Stats()
-	resp, err := s.Link.Call(medicalQueryMethod, request)
-	if err != nil {
-		return nil, err
+	var meta *QueryMeta
+	var blob []byte
+	for attempt := 1; ; attempt++ {
+		retry.Attempts = attempt
+		resp, err := s.Link.Call(medicalQueryMethod, request)
+		if err == nil {
+			meta, blob, err = splitResponse(resp)
+		}
+		if err == nil {
+			break
+		}
+		retry.LastError = err.Error()
+		if attempt >= pol.MaxAttempts || !RetryableError(err) {
+			return nil, fmt.Errorf("qbism: query failed after %d attempt(s): %w", attempt, err)
+		}
+		retry.Retries++
+		retry.BackoffSim += pol.backoff(attempt, jitter)
+		s.Link.NoteRetry()
 	}
 	netDelta := s.Link.Stats().Sub(net0)
-
-	meta, blob, err := splitResponse(resp)
-	if err != nil {
-		return nil, err
-	}
 
 	importStart := time.Now()
 	data, err := UnmarshalDataRegion(blob)
@@ -96,18 +123,19 @@ func (s *System) RunQuery(spec QuerySpec) (*QueryResult, error) {
 		DBMeasured:     time.Duration(meta.DBCPUNanos),
 		DBSimReal:      s.Model.StarburstTime(time.Duration(meta.DBCPUNanos), meta.LFMPages),
 		NetMessages:    netDelta.Messages,
-		NetSim:         s.Model.NetworkTime(netDelta.Messages),
+		NetSim:         s.Model.NetworkTime(netDelta.Messages) + netDelta.LatencySim,
 		ImportMeasured: importDur,
 		ImportSim:      s.Model.ImportTime(importStats.Voxels, importStats.Runs),
 		RenderMeasured: renderDur,
 		RenderSim:      s.Model.RenderTime(importStats.Voxels),
+		RetrySim:       retry.BackoffSim,
 		OtherSim:       s.Model.OtherTime,
 	}
-	t.TotalSim = t.DBSimReal + t.NetSim + t.ImportSim + t.RenderSim + t.OtherSim
+	t.TotalSim = t.DBSimReal + t.NetSim + t.ImportSim + t.RenderSim + t.RetrySim + t.OtherSim
 	t.TotalMeasured = time.Since(totalStart)
 
 	return &QueryResult{
-		Spec: spec, Meta: *meta, Data: data, Field: field, Image: img, Timing: t,
+		Spec: spec, Meta: *meta, Data: data, Field: field, Image: img, Timing: t, Retry: retry,
 	}, nil
 }
 
@@ -137,18 +165,18 @@ func (s *System) RunQueryCached(spec QuerySpec) (*QueryResult, bool, error) {
 	return res, false, err
 }
 
-// splitResponse separates the JSON meta header from the DataRegion blob.
+// splitResponse validates the response frame and separates the JSON
+// meta header from the DataRegion blob. Truncated or corrupted frames
+// fail with ErrFrameTruncated/ErrFrameCorrupt — typed, retryable — so
+// a damaged reply is never mis-parsed as data.
 func splitResponse(resp []byte) (*QueryMeta, []byte, error) {
-	if len(resp) < 4 {
-		return nil, nil, fmt.Errorf("qbism: short response")
-	}
-	hlen := binary.BigEndian.Uint32(resp)
-	if uint64(len(resp)) < 4+uint64(hlen) {
-		return nil, nil, fmt.Errorf("qbism: response header truncated")
+	header, blob, err := decodeFrame(resp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("qbism: response: %w", err)
 	}
 	var meta QueryMeta
-	if err := json.Unmarshal(resp[4:4+hlen], &meta); err != nil {
+	if err := json.Unmarshal(header, &meta); err != nil {
 		return nil, nil, fmt.Errorf("qbism: bad response header: %v", err)
 	}
-	return &meta, resp[4+hlen:], nil
+	return &meta, blob, nil
 }

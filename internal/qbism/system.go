@@ -7,6 +7,7 @@ import (
 	"qbism/internal/atlas"
 	"qbism/internal/costmodel"
 	"qbism/internal/dx"
+	"qbism/internal/faultsim"
 	"qbism/internal/lfm"
 	"qbism/internal/netsim"
 	"qbism/internal/rencode"
@@ -58,6 +59,23 @@ type Config struct {
 	// instead of simulated memory (the paper's "operating system disk
 	// device"). Page accounting is identical.
 	DevicePath string
+
+	// Checksums enables per-page CRC32 integrity on the LFM device:
+	// written pages are checksummed and reads verify them, so device
+	// corruption surfaces as a typed error instead of silent bad data.
+	Checksums bool
+	// LinkFaults, when non-nil, injects faults on the DX↔MedicalServer
+	// link (drops, timeouts, latency, corruption). Installed after
+	// loading, so only queries see them.
+	LinkFaults *faultsim.Policy
+	// DeviceFaults, when non-nil, injects faults on LFM page I/O (read
+	// errors, in-transfer bit flips, write errors, torn pages).
+	// Installed after loading.
+	DeviceFaults *faultsim.Policy
+	// Retry governs client-side retries of transient query failures.
+	// The zero value means a single attempt; DefaultRetryPolicy() is a
+	// sensible production setting.
+	Retry RetryPolicy
 }
 
 // withDefaults fills zero fields.
@@ -101,6 +119,14 @@ type System struct {
 	Atlas  *atlas.Atlas
 	Cache  *dx.Cache
 
+	// Retry is the client-side retry policy for RunQuery (from Config).
+	Retry RetryPolicy
+	// LinkFaults/DeviceFaults are the active fault injectors (nil when
+	// the corresponding policy is unset); their counters feed chaos
+	// tests and the CLI's fault report.
+	LinkFaults   *faultsim.Injector
+	DeviceFaults *faultsim.Injector
+
 	AtlasID int
 	Studies []StudyInfo
 
@@ -133,11 +159,17 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Checksums {
+		if cerr := mgr.EnableChecksums(); cerr != nil {
+			return nil, cerr
+		}
+	}
 	s := &System{
 		Cfg:         cfg,
 		Curve:       curve,
 		ZCurve:      zcurve,
 		LFM:         mgr,
+		Retry:       cfg.Retry,
 		DB:          sdb.NewDB(mgr),
 		Link:        netsim.NewLink(costmodel.Default1993()),
 		Model:       costmodel.Default1993(),
@@ -161,6 +193,17 @@ func New(cfg Config) (*System, error) {
 	// Loading traffic is not part of any measured query.
 	s.LFM.ResetStats()
 	s.Link.ResetStats()
+	// Fault injection starts only now: loading runs on perfect hardware
+	// (the paper's load pipeline is out of scope for the fault model),
+	// queries run on the configured one.
+	if cfg.LinkFaults != nil {
+		s.LinkFaults = faultsim.New(*cfg.LinkFaults)
+		s.Link.SetFaults(s.LinkFaults)
+	}
+	if cfg.DeviceFaults != nil {
+		s.DeviceFaults = faultsim.New(*cfg.DeviceFaults)
+		s.LFM.SetFaults(s.DeviceFaults)
+	}
 	return s, nil
 }
 

@@ -40,9 +40,11 @@ package qbism
 import (
 	"qbism/internal/atlas"
 	"qbism/internal/dx"
+	"qbism/internal/faultsim"
 	"qbism/internal/feature"
 	"qbism/internal/lfm"
 	"qbism/internal/mining"
+	"qbism/internal/netsim"
 	core "qbism/internal/qbism"
 	"qbism/internal/region"
 	"qbism/internal/rencode"
@@ -227,6 +229,65 @@ type (
 
 // NewSystem builds and loads a complete system.
 func NewSystem(cfg Config) (*System, error) { return core.New(cfg) }
+
+// Fault injection and resilience (chaos testing the simulated
+// deployment: Config.LinkFaults, Config.DeviceFaults, Config.Checksums,
+// Config.Retry).
+type (
+	// FaultPolicy is a deterministic, seeded fault schedule.
+	FaultPolicy = faultsim.Policy
+	// FaultKind is one failure mode (DropFault, TornWriteFault, ...).
+	FaultKind = faultsim.Kind
+	// ScheduledFault pins a fault to an exact operation index.
+	ScheduledFault = faultsim.Scheduled
+	// FaultInjector draws faults from a FaultPolicy.
+	FaultInjector = faultsim.Injector
+	// RetryPolicy governs client-side query retries.
+	RetryPolicy = core.RetryPolicy
+	// RetryStats reports one query's attempts, retries, and backoff.
+	RetryStats = core.RetryStats
+	// LinkStats counts RPC traffic and injected link faults.
+	LinkStats = netsim.Stats
+	// MethodFaults counts per-RPC-method injected faults.
+	MethodFaults = netsim.MethodFaults
+)
+
+// Fault kinds.
+const (
+	DropFault        = faultsim.Drop
+	TimeoutFault     = faultsim.Timeout
+	LatencyFault     = faultsim.Latency
+	CorruptFault     = faultsim.Corrupt
+	TamperFault      = faultsim.Tamper
+	ReadErrFault     = faultsim.ReadErr
+	PageCorruptFault = faultsim.PageCorrupt
+	WriteErrFault    = faultsim.WriteErr
+	TornWriteFault   = faultsim.TornWrite
+)
+
+// Typed fault and integrity errors, matchable with errors.Is through
+// the full SQL → UDF → LFM chain.
+var (
+	ErrDropped        = netsim.ErrDropped
+	ErrLinkTimeout    = netsim.ErrLinkTimeout
+	ErrLinkCorrupt    = netsim.ErrCorrupt
+	ErrReadFault      = lfm.ErrReadFault
+	ErrWriteFault     = lfm.ErrWriteFault
+	ErrChecksum       = lfm.ErrChecksum
+	ErrFrameTruncated = core.ErrFrameTruncated
+	ErrFrameCorrupt   = core.ErrFrameCorrupt
+)
+
+// Resilience helpers.
+var (
+	// NewFaultInjector builds an injector for a policy.
+	NewFaultInjector = faultsim.New
+	// DefaultRetryPolicy is a sane client retry configuration.
+	DefaultRetryPolicy = core.DefaultRetryPolicy
+	// RetryableError classifies an error as transient (retryable) or
+	// semantic (terminal).
+	RetryableError = core.RetryableError
+)
 
 // Band encoding labels for Config.ExtraBandEncodings / Table 4.
 const (
