@@ -1,12 +1,13 @@
-# Pre-merge check: vet, build, and the full test suite under the race
+# Pre-merge check: vet, build, the full test suite under the race
 # detector (the chaos and netsim concurrency tests are required to be
-# race-clean). Run `make check` before merging.
+# race-clean), and a one-iteration perfbench smoke run. Run `make check`
+# before merging; `make bench` regenerates BENCH_PR2.json.
 
 GO ?= go
 
-.PHONY: check vet build test race
+.PHONY: check vet build test race bench bench-smoke
 
-check: vet build race
+check: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,3 +20,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Full performance sweep: the Go micro-benchmarks, then the end-to-end
+# perfbench run that writes BENCH_PR2.json (pages read, cache hit rate,
+# ns/op, serial-vs-parallel speedup on both clocks).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .  ./internal/sfc
+	$(GO) run ./cmd/perfbench -out BENCH_PR2.json
+
+# One tiny iteration through every perfbench measurement — catches read
+# path regressions in CI without the full run's cost.
+bench-smoke:
+	$(GO) run ./cmd/perfbench -smoke -out $(if $(TMPDIR),$(TMPDIR),/tmp)/qbism_bench_smoke.json

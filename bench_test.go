@@ -273,6 +273,91 @@ func BenchmarkBandIndexVsScan(b *testing.B) {
 	})
 }
 
+// BenchmarkRunPrunedExtraction measures the run-pruned read plan on a
+// real anatomical REGION across gap thresholds: pages/op rises and
+// reads/op (the seek proxy) falls as the gap widens — the tunable
+// trade the cost model's CoalesceGapPages prices.
+func BenchmarkRunPrunedExtraction(b *testing.B) {
+	s := benchSystem(b)
+	st, err := s.Atlas.ByName("ntal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := s.DB.Exec("select wv.data from warpedVolume wv where wv.studyId = 1")
+	if err != nil || len(res.Rows) != 1 {
+		b.Fatalf("volume lookup: %v", err)
+	}
+	h := res.Rows[0][0].L
+	for _, gap := range []uint64{0, 4, 11, 64} {
+		gap := gap
+		b.Run(fmt.Sprintf("gap%d", gap), func(b *testing.B) {
+			var pages, reads uint64
+			for n := 0; n < b.N; n++ {
+				before := s.LFM.Stats()
+				d, err := core.ExtractStoredOpts(s.LFM, h, st.Region, core.ExtractOpts{GapPages: gap})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d.NumVoxels() != st.Region.NumVoxels() {
+					b.Fatal("wrong extraction")
+				}
+				delta := s.LFM.Stats().Sub(before)
+				pages += delta.PageReads
+				reads += delta.Reads
+			}
+			b.ReportMetric(float64(pages)/float64(b.N), "pages/op")
+			b.ReportMetric(float64(reads)/float64(b.N), "reads/op")
+		})
+	}
+}
+
+// BenchmarkParallelMultiStudy measures the Table 4 consistent-band
+// intersection serial versus fanned across 4 workers; same result and
+// total I/O, lower wall clock.
+func BenchmarkParallelMultiStudy(b *testing.B) {
+	s := benchSystem(b)
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			var pages uint64
+			for n := 0; n < b.N; n++ {
+				row, err := s.Table4OneParallel(128, 159, core.EncHilbertNaive, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages += row.LFMPages
+			}
+			b.ReportMetric(float64(pages)/float64(b.N), "pages/op")
+		})
+	}
+}
+
+// BenchmarkParallelQueryBatch runs the Table 3 query mix as a batch,
+// serial versus 4 workers, through the full RPC + retry stack.
+func BenchmarkParallelQueryBatch(b *testing.B) {
+	s := benchSystem(b)
+	var specs []core.QuerySpec
+	for _, id := range s.PETStudyIDs() {
+		specs = append(specs,
+			core.QuerySpec{StudyID: id, Atlas: "Talairach", Structure: "ntal"},
+			core.QuerySpec{StudyID: id, Atlas: "Talairach", HasBand: true, BandLo: 224, BandHi: 255},
+			core.QuerySpec{StudyID: id, Atlas: "Talairach", Structure: "ntal1", HasBand: true, BandLo: 224, BandHi: 255},
+		)
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				for _, item := range s.RunQueries(specs, workers) {
+					if item.Err != nil {
+						b.Fatal(item.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMingapApproximation measures the approximate-REGION sweep.
 func BenchmarkMingapApproximation(b *testing.B) {
 	s := benchSystem(b)

@@ -1,0 +1,327 @@
+// Command perfbench measures this PR's read-path work end to end — run
+// pruning, gap coalescing, the LFM page cache, and the parallel
+// multi-study executor — and writes a machine-readable summary to
+// BENCH_PR2.json.
+//
+// Two clocks appear in the output. Wall-clock nanoseconds depend on the
+// host (its CPU count is recorded under "host" so the parallel numbers
+// are interpretable: on a single-core container the measured speedup is
+// pinned near 1x no matter how good the executor is). The simulated
+// numbers come from the repo's 1993 cost model and are deterministic:
+// page counts, cache hit rates, and the simulated batch makespan do not
+// change from host to host.
+//
+//	perfbench                     # full run, writes BENCH_PR2.json
+//	perfbench -smoke -out /tmp/b.json   # one tiny iteration (CI smoke)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"qbism"
+)
+
+type hostInfo struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+type benchConfig struct {
+	Bits          int    `json:"bits"`
+	PETs          int    `json:"pet_studies"`
+	MRIs          int    `json:"mri_studies"`
+	Iters         int    `json:"iters"`
+	Workers       int    `json:"workers"`
+	CachePages    int    `json:"cache_pages"`
+	ModelGapPages uint64 `json:"model_gap_pages"`
+	Smoke         bool   `json:"smoke"`
+}
+
+type pruningReport struct {
+	FullPages       uint64  `json:"full_volume_pages"`
+	BoxPages        uint64  `json:"box_pages"`
+	StructurePages  uint64  `json:"structure_pages"`
+	BoxFactor       float64 `json:"box_pruning_factor"`
+	StructureFactor float64 `json:"structure_pruning_factor"`
+	FullNsOp        int64   `json:"full_volume_ns_op"`
+	BoxNsOp         int64   `json:"box_ns_op"`
+	StructureNsOp   int64   `json:"structure_ns_op"`
+}
+
+type gapPoint struct {
+	Gap   uint64 `json:"gap_pages"`
+	Reads uint64 `json:"reads_op"`
+	Pages uint64 `json:"pages_op"`
+	NsOp  int64  `json:"ns_op"`
+}
+
+type cacheReport struct {
+	CachePages uint64  `json:"cache_pages"`
+	ColdPages  uint64  `json:"cold_pass_pages"`
+	WarmPages  uint64  `json:"warm_pass_pages"`
+	Hits       uint64  `json:"warm_pass_hits"`
+	Misses     uint64  `json:"warm_pass_misses"`
+	HitRate    float64 `json:"warm_pass_hit_rate"`
+	ColdNsOp   int64   `json:"cold_pass_ns_op"`
+	WarmNsOp   int64   `json:"warm_pass_ns_op"`
+}
+
+type speedup struct {
+	SerialWallNs   int64   `json:"serial_wall_ns"`
+	ParallelWallNs int64   `json:"parallel_wall_ns"`
+	WallSpeedup    float64 `json:"wall_speedup"`
+	SerialSimMs    float64 `json:"serial_sim_ms,omitempty"`
+	ParallelSimMs  float64 `json:"parallel_sim_ms,omitempty"`
+	SimSpeedup     float64 `json:"sim_speedup,omitempty"`
+}
+
+type parallelReport struct {
+	Workers int     `json:"workers"`
+	Queries int     `json:"batch_queries"`
+	Batch   speedup `json:"query_batch"`
+	Table4  speedup `json:"table4_intersection"`
+}
+
+type report struct {
+	Host     hostInfo       `json:"host"`
+	Config   benchConfig    `json:"config"`
+	Pruning  pruningReport  `json:"pruning"`
+	GapSweep []gapPoint     `json:"gap_sweep"`
+	Cache    cacheReport    `json:"cache"`
+	Parallel parallelReport `json:"parallel"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "write the JSON report here")
+	smoke := flag.Bool("smoke", false, "tiny single-iteration run (CI smoke test)")
+	bits := flag.Int("bits", 6, "atlas grid bits per axis")
+	pets := flag.Int("pets", 5, "number of PET studies")
+	mris := flag.Int("mris", 1, "number of MRI studies")
+	iters := flag.Int("iters", 20, "timed iterations per measurement")
+	workers := flag.Int("workers", 4, "parallel executor pool size")
+	cachePages := flag.Int("cachepages", 64, "LFM page-cache capacity for the cache pass")
+	flag.Parse()
+	if *smoke {
+		*bits, *pets, *mris, *iters = 4, 3, 0, 1
+	}
+
+	cfg := qbism.Config{
+		Bits: *bits, NumPET: *pets, NumMRI: *mris, Seed: 1993,
+		SmallStudies: true, ExtraBandEncodings: true, Checksums: true,
+	}
+	sys, err := qbism.NewSystem(cfg)
+	if err != nil {
+		fail("load: %v", err)
+	}
+	rep := report{
+		Host: hostInfo{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()},
+		Config: benchConfig{
+			Bits: *bits, PETs: *pets, MRIs: *mris, Iters: *iters, Workers: *workers,
+			CachePages: *cachePages, ModelGapPages: sys.Model.CoalesceGapPages(), Smoke: *smoke,
+		},
+	}
+
+	rep.Pruning = measurePruning(sys, *iters)
+	rep.GapSweep = measureGapSweep(sys, *iters)
+	rep.Cache = measureCache(cfg, *cachePages, *iters)
+	rep.Parallel = measureParallel(sys, *workers)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail("marshal: %v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fail("write %s: %v", *out, err)
+	}
+
+	fmt.Printf("pruning: full=%d pages, box=%d (%.1fx fewer), structure=%d (%.1fx fewer)\n",
+		rep.Pruning.FullPages, rep.Pruning.BoxPages, rep.Pruning.BoxFactor,
+		rep.Pruning.StructurePages, rep.Pruning.StructureFactor)
+	for _, g := range rep.GapSweep {
+		fmt.Printf("gap %2d: %d reads, %d pages, %s/op\n",
+			g.Gap, g.Reads, g.Pages, time.Duration(g.NsOp))
+	}
+	fmt.Printf("cache(%d pages): warm pass %d pages (cold %d), hit rate %.2f\n",
+		rep.Cache.CachePages, rep.Cache.WarmPages, rep.Cache.ColdPages, rep.Cache.HitRate)
+	fmt.Printf("batch x%d: wall %.2fx, simulated %.2fx at %d workers (host has %d CPUs)\n",
+		rep.Parallel.Queries, rep.Parallel.Batch.WallSpeedup, rep.Parallel.Batch.SimSpeedup,
+		rep.Parallel.Workers, rep.Host.NumCPU)
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// timeQuery runs the spec iters times and returns ns/op plus the pages
+// read by one execution.
+func timeQuery(sys *qbism.System, spec qbism.QuerySpec, iters int) (nsOp int64, pages uint64) {
+	res, err := sys.RunQuery(spec) // warm-up, and the page count
+	if err != nil {
+		fail("%v: %v", spec, err)
+	}
+	pages = res.Meta.LFMPages
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := sys.RunQuery(spec); err != nil {
+			fail("%v: %v", spec, err)
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(iters), pages
+}
+
+func measurePruning(sys *qbism.System, iters int) pruningReport {
+	study := sys.Studies[0].StudyID
+	hi := uint32(sys.Side()/4 - 1) // a (side/4)^3 corner box
+	var r pruningReport
+	r.FullNsOp, r.FullPages = timeQuery(sys,
+		qbism.QuerySpec{StudyID: study, Atlas: "Talairach", FullStudy: true}, iters)
+	box := [6]uint32{0, 0, 0, hi, hi, hi}
+	r.BoxNsOp, r.BoxPages = timeQuery(sys,
+		qbism.QuerySpec{StudyID: study, Atlas: "Talairach", Box: &box}, iters)
+	r.StructureNsOp, r.StructurePages = timeQuery(sys,
+		qbism.QuerySpec{StudyID: study, Atlas: "Talairach", Structure: "putamen"}, iters)
+	if r.BoxPages > 0 {
+		r.BoxFactor = float64(r.FullPages) / float64(r.BoxPages)
+	}
+	if r.StructurePages > 0 {
+		r.StructureFactor = float64(r.FullPages) / float64(r.StructurePages)
+	}
+	return r
+}
+
+// measureGapSweep drives run-pruned extraction over a real anatomical
+// REGION at increasing gap thresholds: reads (seeks) fall, pages
+// (transferred bytes) rise — the trade CoalesceGapPages prices.
+func measureGapSweep(sys *qbism.System, iters int) []gapPoint {
+	st, err := sys.Atlas.ByName("ntal")
+	if err != nil {
+		fail("atlas: %v", err)
+	}
+	res, err := sys.DB.Exec("select wv.data from warpedVolume wv where wv.studyId = 1")
+	if err != nil || len(res.Rows) != 1 {
+		fail("volume lookup: %v", err)
+	}
+	h := res.Rows[0][0].L
+	gaps := []uint64{0, 1, 4, sys.Model.CoalesceGapPages(), 64}
+	var sweep []gapPoint
+	for _, gap := range gaps {
+		before := sys.LFM.Stats()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := qbism.ExtractStoredOpts(sys.LFM, h, st.Region, qbism.ExtractOpts{GapPages: gap}); err != nil {
+				fail("extract gap %d: %v", gap, err)
+			}
+		}
+		ns := time.Since(start).Nanoseconds() / int64(iters)
+		d := sys.LFM.Stats().Sub(before)
+		sweep = append(sweep, gapPoint{
+			Gap: gap, Reads: d.Reads / uint64(iters), Pages: d.PageReads / uint64(iters), NsOp: ns,
+		})
+	}
+	return sweep
+}
+
+// measureCache builds a cache-enabled twin of the system and runs the
+// Table 3 query mix twice: the cold pass fills the cache, the warm pass
+// shows the hit rate and the device pages it saves.
+func measureCache(cfg qbism.Config, cachePages, iters int) cacheReport {
+	cfg.CachePages = cachePages
+	sys, err := qbism.NewSystem(cfg)
+	if err != nil {
+		fail("load cached system: %v", err)
+	}
+	specs := sys.Table3Queries()
+	pass := func() (pages, hits, misses uint64, ns int64) {
+		before := sys.LFM.Stats()
+		start := time.Now()
+		for _, spec := range specs {
+			if _, err := sys.RunQuery(spec); err != nil {
+				fail("%v: %v", spec, err)
+			}
+		}
+		ns = time.Since(start).Nanoseconds() / int64(len(specs))
+		d := sys.LFM.Stats().Sub(before)
+		return d.PageReads, d.CacheHits, d.CacheMisses, ns
+	}
+	var r cacheReport
+	r.CachePages = uint64(cachePages)
+	r.ColdPages, _, _, r.ColdNsOp = pass()
+	r.WarmPages, r.Hits, r.Misses, r.WarmNsOp = pass()
+	if r.Hits+r.Misses > 0 {
+		r.HitRate = float64(r.Hits) / float64(r.Hits+r.Misses)
+	}
+	return r
+}
+
+// measureParallel runs the same multi-study workloads serially and over
+// the worker pool. Wall clock is the host's truth; BatchSim prices the
+// identical batch on the cost model's clock, where the overlap the
+// executor creates is visible even on a single-core host.
+func measureParallel(sys *qbism.System, workers int) parallelReport {
+	var specs []qbism.QuerySpec
+	for _, id := range sys.PETStudyIDs() {
+		specs = append(specs,
+			qbism.QuerySpec{StudyID: id, Atlas: "Talairach", FullStudy: true},
+			qbism.QuerySpec{StudyID: id, Atlas: "Talairach", Structure: "ntal"},
+			qbism.QuerySpec{StudyID: id, Atlas: "Talairach", Structure: "putamen", HasBand: true, BandLo: 64, BandHi: 255},
+		)
+	}
+	rep := parallelReport{Workers: workers, Queries: len(specs)}
+
+	start := time.Now()
+	items := sys.RunQueries(specs, 1)
+	rep.Batch.SerialWallNs = time.Since(start).Nanoseconds()
+	for _, item := range items {
+		if item.Err != nil {
+			fail("batch %s: %v", item.Spec.Label(), item.Err)
+		}
+	}
+	start = time.Now()
+	if par := sys.RunQueries(specs, workers); len(par) != len(specs) {
+		fail("parallel batch lost items")
+	}
+	rep.Batch.ParallelWallNs = time.Since(start).Nanoseconds()
+	rep.Batch.WallSpeedup = ratio(rep.Batch.SerialWallNs, rep.Batch.ParallelWallNs)
+	serialSim, parallelSim := qbism.BatchSim(items, workers)
+	rep.Batch.SerialSimMs = float64(serialSim.Microseconds()) / 1e3
+	rep.Batch.ParallelSimMs = float64(parallelSim.Microseconds()) / 1e3
+	if parallelSim > 0 {
+		rep.Batch.SimSpeedup = float64(serialSim) / float64(parallelSim)
+	}
+
+	bands := sys.BandRegions[sys.PETStudyIDs()[0]]
+	b := bands[len(bands)/2]
+	start = time.Now()
+	serialRow, err := sys.Table4OneParallel(int(b.Lo), int(b.Hi), qbism.BandEncodingHilbertNaive, 1)
+	if err != nil {
+		fail("table4 serial: %v", err)
+	}
+	rep.Table4.SerialWallNs = time.Since(start).Nanoseconds()
+	start = time.Now()
+	parRow, err := sys.Table4OneParallel(int(b.Lo), int(b.Hi), qbism.BandEncodingHilbertNaive, workers)
+	if err != nil {
+		fail("table4 parallel: %v", err)
+	}
+	rep.Table4.ParallelWallNs = time.Since(start).Nanoseconds()
+	if parRow.ResultVox != serialRow.ResultVox {
+		fail("table4 parallel result diverged: %d vs %d voxels", parRow.ResultVox, serialRow.ResultVox)
+	}
+	rep.Table4.WallSpeedup = ratio(rep.Table4.SerialWallNs, rep.Table4.ParallelWallNs)
+	return rep
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

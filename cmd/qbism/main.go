@@ -56,11 +56,16 @@ func main() {
 	faultSeed := flag.Uint64("faultseed", 1, "fault injection seed")
 	retries := flag.Int("retries", 5, "max query attempts (1 = no retries)")
 	checksums := flag.Bool("checksums", true, "enable per-page CRC32 checksums on long fields")
+
+	cachePages := flag.Int("cachepages", 0, "LFM page cache capacity in 4KB pages (0 = no cache, the paper's protocol)")
+	gapPages := flag.Uint64("gappages", 0, "coalesce extraction reads across page gaps up to this wide (0 = exact runs)")
+	workers := flag.Int("workers", 0, "worker pool size for multi-study plans (0/1 = serial)")
 	flag.Parse()
 
 	cfg := qbism.Config{
 		Bits: *bits, NumPET: *pets, NumMRI: *mris, Seed: *seed, SmallStudies: *small,
 		Checksums: *checksums,
+		CachePages: *cachePages, ReadGapPages: *gapPages, Workers: *workers,
 	}
 	if *drop+*timeout+*corrupt+*tamper+*latency > 0 {
 		cfg.LinkFaults = &qbism.FaultPolicy{
@@ -83,8 +88,9 @@ func main() {
 	if err != nil {
 		fail("load: %v", err)
 	}
-	fmt.Printf("loaded %d^3 atlas, %d studies, %d structures\n",
-		sys.Side(), len(sys.Studies), len(sys.Atlas.Structures))
+	fmt.Printf("loaded %d^3 atlas, %d studies, %d structures; cache=%dp gap=%dp workers=%d\n",
+		sys.Side(), len(sys.Studies), len(sys.Atlas.Structures),
+		*cachePages, *gapPages, *workers)
 
 	runSQL := func(stmt string) error {
 		res, err := sys.DB.Exec(stmt)

@@ -43,6 +43,14 @@ type Model struct {
 	// OtherTime is the per-query residue the paper attributes to the
 	// atlas lookup query, SQL compilation and rounding ("other" column).
 	OtherTime time.Duration
+	// SeekTime is the positioning cost paid once per contiguous read
+	// (arm seek + rotational latency on the 1993 drive). DiskPageTime is
+	// the blended per-page figure from Table 3; SeekTime/TransferTime
+	// split it so run-coalescing decisions can trade seeks for bytes.
+	SeekTime time.Duration
+	// TransferTime is the media-transfer cost per 4 KB page once the
+	// head is positioned.
+	TransferTime time.Duration
 }
 
 // Default1993 returns the model calibrated to the paper's testbed.
@@ -58,7 +66,27 @@ func Default1993() Model {
 		RenderBase:          10 * time.Second,
 		RenderPerVoxel:      8 * time.Microsecond,
 		OtherTime:           3700 * time.Millisecond,
+		SeekTime:            12 * time.Millisecond,
+		TransferTime:        1 * time.Millisecond,
 	}
+}
+
+// CoalesceGapPages returns the largest gap, in pages, worth reading
+// through rather than seeking over: two runs separated by g pages should
+// be fetched as one contiguous read whenever transferring the g wasted
+// pages is cheaper than paying another seek, i.e. g·TransferTime <
+// SeekTime. On the 1993 constants (12 ms seek, 1 ms/page transfer) this
+// is 11 pages — the mingap analysis in region/approx.go applied to the
+// device instead of the region encoding.
+func (m Model) CoalesceGapPages() uint64 {
+	if m.TransferTime <= 0 {
+		return 0
+	}
+	g := uint64(m.SeekTime / m.TransferTime)
+	if g > 0 && time.Duration(g)*m.TransferTime >= m.SeekTime {
+		g--
+	}
+	return g
 }
 
 // DiskTime returns the simulated real time for page I/Os.

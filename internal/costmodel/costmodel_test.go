@@ -59,6 +59,33 @@ func TestMessagesSmallPayloads(t *testing.T) {
 	}
 }
 
+func TestCoalesceGapPages(t *testing.T) {
+	m := Default1993()
+	// 12 ms seek / 1 ms transfer: reading through an 11-page gap costs
+	// 11 ms, still under one seek; 12 pages would not be.
+	if got := m.CoalesceGapPages(); got != 11 {
+		t.Errorf("CoalesceGapPages() = %d, want 11", got)
+	}
+	g := m.CoalesceGapPages()
+	if time.Duration(g)*m.TransferTime >= m.SeekTime {
+		t.Errorf("gap %d not worth coalescing: %v transfer >= %v seek",
+			g, time.Duration(g)*m.TransferTime, m.SeekTime)
+	}
+	if time.Duration(g+1)*m.TransferTime < m.SeekTime {
+		t.Errorf("gap %d is not maximal", g)
+	}
+	// Exact divisibility: 10 ms seek / 2 ms transfer -> gap 4 (5 pages
+	// would cost exactly one seek; prefer the seek).
+	m.SeekTime, m.TransferTime = 10*time.Millisecond, 2*time.Millisecond
+	if got := m.CoalesceGapPages(); got != 4 {
+		t.Errorf("CoalesceGapPages() = %d, want 4", got)
+	}
+	m.TransferTime = 0
+	if got := m.CoalesceGapPages(); got != 0 {
+		t.Errorf("CoalesceGapPages() with zero transfer = %d, want 0", got)
+	}
+}
+
 func TestOrderingPreserved(t *testing.T) {
 	// The whole point of the model: fewer pages -> less time, strictly.
 	m := Default1993()

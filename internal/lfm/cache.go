@@ -1,0 +1,98 @@
+package lfm
+
+// pageCache is a fixed-capacity CLOCK (second-chance) page cache over
+// long-field pages. The paper's LFM deliberately has no buffering — the
+// Tables 3/4 measurement protocol counts every page touch — so the cache
+// is strictly opt-in (EnableCache) and all accounting distinguishes
+// device page reads (misses) from cache hits.
+//
+// Keys are (handle, logical page index within the field), not device
+// offsets, so freeing a field and reusing its device blocks for another
+// field can never alias stale cached data: handles are never reused.
+//
+// CLOCK is chosen over LRU for the same reason most buffer managers
+// choose it: a hit only sets a reference bit (no list surgery), which
+// keeps the hot hit path short under the manager's mutex.
+type pageCache struct {
+	entries []cacheEntry
+	index   map[pageKey]int
+	hand    int
+}
+
+type pageKey struct {
+	h    Handle
+	page uint64 // logical page index within the field
+}
+
+type cacheEntry struct {
+	key  pageKey
+	data []byte
+	ref  bool // second-chance reference bit
+	live bool
+}
+
+// newPageCache creates a cache holding at most pages pages.
+func newPageCache(pages int) *pageCache {
+	return &pageCache{
+		entries: make([]cacheEntry, pages),
+		index:   make(map[pageKey]int, pages),
+	}
+}
+
+// get returns the cached bytes for a page, or nil on a miss. The
+// returned slice is the cache's own storage; callers must copy out of
+// it and never mutate it.
+func (c *pageCache) get(k pageKey) []byte {
+	i, ok := c.index[k]
+	if !ok {
+		return nil
+	}
+	c.entries[i].ref = true
+	return c.entries[i].data
+}
+
+// put inserts a page, evicting by CLOCK sweep if full. data is retained
+// (the caller hands over ownership). Returns whether an existing live
+// entry was evicted.
+func (c *pageCache) put(k pageKey, data []byte) (evicted bool) {
+	if i, ok := c.index[k]; ok {
+		c.entries[i].data = data
+		c.entries[i].ref = true
+		return false
+	}
+	// Sweep: a dead slot is taken immediately; a live slot with its
+	// reference bit set gets a second chance. The sweep terminates
+	// because each pass clears one reference bit.
+	for {
+		e := &c.entries[c.hand]
+		if !e.live {
+			break
+		}
+		if e.ref {
+			e.ref = false
+			c.hand = (c.hand + 1) % len(c.entries)
+			continue
+		}
+		delete(c.index, e.key)
+		evicted = true
+		break
+	}
+	c.entries[c.hand] = cacheEntry{key: k, data: data, ref: true, live: true}
+	c.index[k] = c.hand
+	c.hand = (c.hand + 1) % len(c.entries)
+	return evicted
+}
+
+// invalidateField drops every cached page of a field (on Overwrite,
+// Free, or Corrupt).
+func (c *pageCache) invalidateField(h Handle) {
+	for k, i := range c.index {
+		if k.h == h {
+			c.entries[i] = cacheEntry{}
+			delete(c.index, k)
+		}
+	}
+}
+
+// len returns the number of live cached pages.
+func (c *pageCache) len() int { return len(c.index) }

@@ -7,8 +7,11 @@
 // The device here is simulated memory with page-granular I/O accounting:
 // every read or write touches whole 4 KB pages and increments counters,
 // which is exactly the "LFM Disk I/Os (4KB Pages)" metric of the paper's
-// Tables 3 and 4. Because there is no buffering, repeated reads of the
-// same page count every time, matching the paper's measurement protocol.
+// Tables 3 and 4. By default there is no buffering, so repeated reads of
+// the same page count every time, matching the paper's measurement
+// protocol. An optional fixed-capacity CLOCK page cache (EnableCache)
+// absorbs repeated reads of hot pages; with it on, PageReads counts only
+// device transfers (misses) and the hit/miss split is reported in Stats.
 package lfm
 
 import (
@@ -17,6 +20,7 @@ import (
 	"hash/crc32"
 	"math/bits"
 	"os"
+	"sync"
 
 	"qbism/internal/faultsim"
 )
@@ -53,6 +57,19 @@ type Stats struct {
 
 	FaultsInjected   uint64 // device faults injected by the fault policy
 	ChecksumFailures uint64 // page reads rejected by CRC verification
+
+	CacheHits      uint64 // page requests served from the page cache
+	CacheMisses    uint64 // page requests that went to the device
+	CacheEvictions uint64 // cached pages evicted by the CLOCK sweep
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 with no cached traffic.
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // Sub returns s - o, for measuring a single query's traffic.
@@ -66,6 +83,9 @@ func (s Stats) Sub(o Stats) Stats {
 		Writes:           s.Writes - o.Writes,
 		FaultsInjected:   s.FaultsInjected - o.FaultsInjected,
 		ChecksumFailures: s.ChecksumFailures - o.ChecksumFailures,
+		CacheHits:        s.CacheHits - o.CacheHits,
+		CacheMisses:      s.CacheMisses - o.CacheMisses,
+		CacheEvictions:   s.CacheEvictions - o.CacheEvictions,
 	}
 }
 
@@ -75,10 +95,14 @@ type field struct {
 	order int    // buddy block order (block size = pageSize << order)
 }
 
-// Manager is the long field manager. It is not safe for concurrent use;
-// the database serializes access to it, as Starburst's did per
-// transaction.
+// Manager is the long field manager. It is safe for concurrent use: a
+// mutex serializes every operation, so parallel query workers can read
+// long fields (and draw from the shared fault injector) without races.
+// Starburst's LFM serialized per transaction; ours serializes per I/O
+// operation, which is what a simulated single-spindle device would do
+// anyway.
 type Manager struct {
+	mu        sync.Mutex
 	pageSize  uint64
 	capacity  uint64
 	dev       []byte   // in-memory device (nil when file-backed)
@@ -97,6 +121,9 @@ type Manager struct {
 	verify bool
 	// sums holds each field's per-page CRC32 table while verify is on.
 	sums map[Handle][]uint32
+	// cache, when non-nil, is the CLOCK page cache; reads consult it
+	// page by page and only misses touch the device.
+	cache *pageCache
 }
 
 // New creates a manager over a simulated device of the given capacity in
@@ -139,16 +166,59 @@ func (m *Manager) PageSize() uint64 { return m.pageSize }
 func (m *Manager) Capacity() uint64 { return m.capacity }
 
 // Stats returns the cumulative traffic counters.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // ResetStats zeroes the traffic counters.
-func (m *Manager) ResetStats() { m.stats = Stats{} }
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}
 
 // NumFields returns the number of live long fields.
-func (m *Manager) NumFields() int { return len(m.fields) }
+func (m *Manager) NumFields() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.fields)
+}
 
 // SetFaults installs (or, with nil, removes) the device fault injector.
-func (m *Manager) SetFaults(in *faultsim.Injector) { m.faults = in }
+func (m *Manager) SetFaults(in *faultsim.Injector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults = in
+}
+
+// EnableCache installs a CLOCK page cache holding at most pages pages
+// (pages <= 0 removes the cache and returns the manager to the paper's
+// unbuffered measurement protocol). With the cache on, reads consult it
+// page by page: hits cost no device I/O, misses transfer one page,
+// verify its checksum (when checksums are enabled — verification runs
+// only on miss, since cached pages were verified on fill), and insert
+// it. Overwrite, Free, and Corrupt invalidate the field's cached pages.
+func (m *Manager) EnableCache(pages int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if pages <= 0 {
+		m.cache = nil
+		return
+	}
+	m.cache = newPageCache(pages)
+}
+
+// CachedPages returns how many pages the cache currently holds.
+func (m *Manager) CachedPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cache == nil {
+		return 0
+	}
+	return m.cache.len()
+}
 
 // EnableChecksums switches on per-page CRC32 integrity: every write
 // records a checksum per 4 KB page of the field, and every read
@@ -157,6 +227,8 @@ func (m *Manager) SetFaults(in *faultsim.Injector) { m.faults = in }
 // contents. Verification does not change the page accounting — the
 // pages checked are exactly the pages the read already touched.
 func (m *Manager) EnableChecksums() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.verify {
 		return nil
 	}
@@ -173,15 +245,26 @@ func (m *Manager) EnableChecksums() error {
 }
 
 // ChecksumsEnabled reports whether page checksums are active.
-func (m *Manager) ChecksumsEnabled() bool { return m.verify }
+func (m *Manager) ChecksumsEnabled() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.verify
+}
 
 // Corrupt flips stored bytes of a field on the device without updating
 // its checksum table — a chaos hook simulating at-rest media corruption
 // (bit rot). xor is applied to the byte at logical offset off.
 func (m *Manager) Corrupt(h Handle, off uint64, xor byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	f, ok := m.fields[h]
 	if !ok {
 		return ErrUnknownHandle
+	}
+	// The corruption must be observable: drop any cached copy of the
+	// field's pages so the next read goes to the (now rotten) device.
+	if m.cache != nil {
+		m.cache.invalidateField(h)
 	}
 	if off >= f.size {
 		return fmt.Errorf("%w: corrupt at %d of %d-byte field", ErrOutOfRange, off, f.size)
@@ -270,6 +353,8 @@ func (m *Manager) freeBlock(off uint64, order int) {
 // Allocate stores data as a new long field and returns its handle.
 // The write is counted page-granularly.
 func (m *Manager) Allocate(data []byte) (Handle, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	order := m.orderFor(uint64(len(data)))
 	if order > m.maxOrder {
 		return 0, ErrNoSpace
@@ -298,9 +383,14 @@ func (m *Manager) Allocate(data []byte) (Handle, error) {
 // fits the field's current buddy block the field is updated in place;
 // otherwise it is reallocated.
 func (m *Manager) Overwrite(h Handle, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	f, ok := m.fields[h]
 	if !ok {
 		return ErrUnknownHandle
+	}
+	if m.cache != nil {
+		m.cache.invalidateField(h)
 	}
 	if uint64(len(data)) <= m.pageSize<<f.order {
 		if err := m.devWrite(f.off, data); err != nil {
@@ -337,6 +427,8 @@ func (m *Manager) Overwrite(h Handle, data []byte) error {
 
 // Size returns the logical length of a field.
 func (m *Manager) Size(h Handle) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	f, ok := m.fields[h]
 	if !ok {
 		return 0, ErrUnknownHandle
@@ -346,6 +438,8 @@ func (m *Manager) Size(h Handle) (uint64, error) {
 
 // Read returns the whole field.
 func (m *Manager) Read(h Handle) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	f, ok := m.fields[h]
 	if !ok {
 		return nil, ErrUnknownHandle
@@ -358,6 +452,8 @@ func (m *Manager) Read(h Handle) ([]byte, error) {
 // call is a separate I/O operation: reading k disjoint pieces costs the
 // pages each piece spans, which is how run-clustered layouts save I/O.
 func (m *Manager) ReadAt(h Handle, off, n uint64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	f, ok := m.fields[h]
 	if !ok {
 		return nil, ErrUnknownHandle
@@ -380,6 +476,9 @@ func (m *Manager) readRange(h Handle, f field, off, n uint64) ([]byte, error) {
 	if n == 0 {
 		m.stats.Reads++
 		return []byte{}, nil
+	}
+	if m.cache != nil {
+		return m.readCached(h, f, off, n)
 	}
 	j0, j1 := off/m.pageSize, (off+n-1)/m.pageSize
 
@@ -469,6 +568,74 @@ func (m *Manager) readVerified(h Handle, f field, off, n, j0, j1 uint64, flips [
 	return out, nil
 }
 
+// readCached serves a read page by page through the CLOCK cache. Hits
+// copy straight out of the cache with no device traffic, no fault
+// decision (nothing crossed the bus), and no checksum work (the page
+// was verified when it was filled). Misses transfer the whole page from
+// the device, draw one fault decision, verify against the field's
+// checksum table when checksums are on, and insert the page. PageReads
+// therefore counts device transfers only — exactly what the paper's I/O
+// column would be with a buffer pool in front of the LFM.
+func (m *Manager) readCached(h Handle, f field, off, n uint64) ([]byte, error) {
+	out := make([]byte, n)
+	j0, j1 := off/m.pageSize, (off+n-1)/m.pageSize
+	sums := m.sums[h]
+	for j := j0; j <= j1; j++ {
+		pageLo := j * m.pageSize
+		pageHi := pageLo + m.pageSize
+		if pageHi > f.size {
+			pageHi = f.size
+		}
+		key := pageKey{h: h, page: j}
+		page := m.cache.get(key)
+		if page == nil {
+			m.stats.CacheMisses++
+			var flip *bitFlip
+			switch m.faults.ReadFault() {
+			case faultsim.ReadErr:
+				m.stats.FaultsInjected++
+				return nil, fmt.Errorf("lfm: page %d: %w", (f.off+pageLo)/m.pageSize, ErrReadFault)
+			case faultsim.PageCorrupt:
+				m.stats.FaultsInjected++
+				flip = &bitFlip{page: j, pos: m.faults.Intn(int(m.pageSize)), mask: 1 << m.faults.Intn(8)}
+			}
+			page = make([]byte, pageHi-pageLo)
+			if err := m.devRead(f.off+pageLo, page); err != nil {
+				return nil, err
+			}
+			if flip != nil && uint64(flip.pos) < uint64(len(page)) {
+				page[flip.pos] ^= flip.mask
+			}
+			m.stats.PageReads++
+			if m.verify {
+				if int(j) >= len(sums) || crc32.ChecksumIEEE(page) != sums[j] {
+					m.stats.ChecksumFailures++
+					m.stats.Reads++
+					return nil, fmt.Errorf("lfm: field %d page %d: %w", h, j, ErrChecksum)
+				}
+			}
+			if m.cache.put(key, page) {
+				m.stats.CacheEvictions++
+			}
+		} else {
+			m.stats.CacheHits++
+		}
+		// Copy the requested slice of this page into the output.
+		lo := pageLo
+		if off > lo {
+			lo = off
+		}
+		hi := pageHi
+		if off+n < hi {
+			hi = off + n
+		}
+		copy(out[lo-off:hi-off], page[lo-pageLo:hi-pageLo])
+	}
+	m.stats.Reads++
+	m.stats.BytesRead += n
+	return out, nil
+}
+
 // pagesSpanned counts the device pages the byte range [off, off+n) touches.
 func (m *Manager) pagesSpanned(off, n uint64) uint64 {
 	if n == 0 {
@@ -481,9 +648,14 @@ func (m *Manager) pagesSpanned(off, n uint64) uint64 {
 
 // Free releases a field's storage.
 func (m *Manager) Free(h Handle) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	f, ok := m.fields[h]
 	if !ok {
 		return ErrUnknownHandle
+	}
+	if m.cache != nil {
+		m.cache.invalidateField(h)
 	}
 	delete(m.fields, h)
 	delete(m.sums, h)
@@ -493,6 +665,8 @@ func (m *Manager) Free(h Handle) error {
 
 // FreePages returns the number of free device pages (for invariant checks).
 func (m *Manager) FreePages() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var pages uint64
 	for k, list := range m.freeLists {
 		pages += uint64(len(list)) << k
@@ -504,6 +678,8 @@ func (m *Manager) FreePages() uint64 {
 // allocations or free blocks, all blocks aligned to their size, and
 // allocated + free pages equal to the device size. Intended for tests.
 func (m *Manager) CheckInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	type span struct{ off, size uint64 }
 	var spans []span
 	for _, f := range m.fields {

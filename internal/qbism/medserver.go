@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"qbism/internal/lfm"
-	"qbism/internal/region"
 	"qbism/internal/sdb"
 	"qbism/internal/volume"
 )
@@ -86,7 +85,20 @@ type QueryMeta struct {
 	Date      string  `json:"date"`
 
 	DBCPUNanos int64  `json:"dbCpuNanos"` // measured handler CPU (wall) time
-	LFMPages   uint64 `json:"lfmPages"`   // 4 KB pages read during the query
+	LFMPages   uint64 `json:"lfmPages"`   // 4 KB device pages read during the query
+	LFMReads   uint64 `json:"lfmReads"`   // LFM read operations (seek-count proxy)
+	// CacheHits/CacheMisses are the LFM page-cache counters for this
+	// query (zero when the cache is disabled). With the cache on,
+	// LFMPages counts only device transfers (misses), so LFMPages +
+	// CacheHits ≈ the unbuffered protocol's page count.
+	CacheHits   uint64 `json:"cacheHits,omitempty"`
+	CacheMisses uint64 `json:"cacheMisses,omitempty"`
+
+	// Concurrency note: these counters are deltas of the shared
+	// lfm.Stats around this query's handler. They are exact when queries
+	// run serially (every measured experiment does); under the parallel
+	// executor concurrent queries' I/O interleaves into each other's
+	// deltas, so per-query counters become indicative, not exact.
 
 	// Degraded is set when the server answered through a slow fallback
 	// path — e.g. the intensityBand REGION was missing or failed its
@@ -115,7 +127,7 @@ func (s *System) registerMedicalServer() {
 			return nil, fmt.Errorf("qbism: bad query spec: %v", err)
 		}
 		start := time.Now()
-		pages0 := s.LFM.Stats().PageReads
+		stats0 := s.LFM.Stats()
 
 		meta, err := s.runMetadataQuery(spec)
 		if err != nil {
@@ -131,7 +143,11 @@ func (s *System) registerMedicalServer() {
 		}
 
 		meta.DBCPUNanos = time.Since(start).Nanoseconds()
-		meta.LFMPages = s.LFM.Stats().PageReads - pages0
+		delta := s.LFM.Stats().Sub(stats0)
+		meta.LFMPages = delta.PageReads
+		meta.LFMReads = delta.Reads
+		meta.CacheHits = delta.CacheHits
+		meta.CacheMisses = delta.CacheMisses
 		header, err := json.Marshal(meta)
 		if err != nil {
 			return nil, err
@@ -258,12 +274,19 @@ where  wv.studyId = %d and
 	return v.Y, "", nil
 }
 
-// bandSlowPath recomputes a band query from first principles: read the
-// whole warped VOLUME, rebuild the band REGION by scanning intensities,
-// intersect with the structure REGION if the query is mixed, and
-// extract. It produces byte-identical results to the intensityBand fast
-// path — the stored band REGIONs were built by exactly this scan at
-// load time — at full-volume-read cost.
+// bandSlowPath recomputes a band query from first principles when the
+// stored intensityBand REGION is unavailable. A pure band query must
+// scan every voxel (band membership is a property of the whole VOLUME),
+// so it reads the full field and rebuilds the band REGION. A mixed
+// band+structure query only needs the structure's voxels: it extracts
+// the structure REGION run-pruned (gap-coalesced page I/O, the same
+// plan extractVoxels uses) and filters the extracted values to
+// [BandLo, BandHi] — band ∩ structure exactly, at structure-footprint
+// I/O cost instead of a full-volume read. Both paths produce results
+// byte-identical to the intensityBand fast path: the stored band
+// REGIONs were built by exactly this scan at load time, and both
+// Filter and intersection() yield the same canonical run list for the
+// same voxel set.
 func (s *System) bandSlowPath(spec QuerySpec, warning string) ([]byte, string, error) {
 	if spec.BandLo < 0 || spec.BandHi > 255 || spec.BandLo > spec.BandHi {
 		return nil, "", fmt.Errorf("qbism: band [%d,%d] outside the 0-255 intensity range", spec.BandLo, spec.BandHi)
@@ -279,20 +302,11 @@ where  wv.studyId = %d and wv.atlasId = a.atlasId and a.atlasName = '%s'`,
 	if len(res.Rows) != 1 {
 		return nil, "", fmt.Errorf("qbism: no warped study %d in atlas %q", spec.StudyID, spec.Atlas)
 	}
-	volBytes, err := s.LFM.Read(res.Rows[0][0].L)
-	if err != nil {
-		return nil, "", fmt.Errorf("qbism: band slow path: %w", err)
-	}
-	vol, err := volume.New(s.Curve, volBytes)
-	if err != nil {
-		return nil, "", err
-	}
-	r, err := vol.Band(uint8(spec.BandLo), uint8(spec.BandHi))
-	if err != nil {
-		return nil, "", err
-	}
+	volHandle := res.Rows[0][0].L
+
+	var d *volume.DataRegion
 	if spec.Structure != "" {
-		res, err := s.DB.Exec(fmt.Sprintf(`
+		sres, err := s.DB.Exec(fmt.Sprintf(`
 select as.region
 from   atlasStructure as, neuralStructure ns, atlas a
 where  a.atlasName = '%s' and as.atlasId = a.atlasId and
@@ -301,10 +315,10 @@ where  a.atlasName = '%s' and as.atlasId = a.atlasId and
 		if err != nil {
 			return nil, "", err
 		}
-		if len(res.Rows) != 1 {
+		if len(sres.Rows) != 1 {
 			return nil, "", fmt.Errorf("qbism: no structure %q in atlas %q", spec.Structure, spec.Atlas)
 		}
-		sr, err := regionFromValue(s.DB, res.Rows[0][0])
+		sr, err := regionFromValue(s.DB, sres.Rows[0][0])
 		if err != nil {
 			return nil, "", fmt.Errorf("qbism: band slow path: %w", err)
 		}
@@ -313,15 +327,29 @@ where  a.atlasName = '%s' and as.atlasId = a.atlasId and
 				return nil, "", err
 			}
 		}
-		// Same operand order as the fast path's intersection(ib.region,
-		// as.region), so run layout and values match byte for byte.
-		if r, err = region.Intersect(r, sr); err != nil {
+		sd, err := ExtractStoredOpts(s.LFM, volHandle, sr, s.extractOpts())
+		if err != nil {
+			return nil, "", fmt.Errorf("qbism: band slow path: %w", err)
+		}
+		if d, err = sd.Filter(uint8(spec.BandLo), uint8(spec.BandHi)); err != nil {
 			return nil, "", err
 		}
-	}
-	d, err := volume.Extract(vol, r)
-	if err != nil {
-		return nil, "", err
+	} else {
+		volBytes, err := s.LFM.Read(volHandle)
+		if err != nil {
+			return nil, "", fmt.Errorf("qbism: band slow path: %w", err)
+		}
+		vol, err := volume.New(s.Curve, volBytes)
+		if err != nil {
+			return nil, "", err
+		}
+		r, err := vol.Band(uint8(spec.BandLo), uint8(spec.BandHi))
+		if err != nil {
+			return nil, "", err
+		}
+		if d, err = volume.Extract(vol, r); err != nil {
+			return nil, "", err
+		}
 	}
 	blob, err := MarshalDataRegion(d, s.Cfg.Method)
 	if err != nil {

@@ -1,0 +1,213 @@
+package qbism
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qbism/internal/region"
+)
+
+// The parallel executor: multi-study workloads — Table 4's n-way
+// intersection and batches of independent query specs — fan out per
+// study over a bounded worker pool. The whole query stack below here is
+// safe for concurrent readers: the LFM serializes I/O (and its fault
+// injector) under its mutex, netsim.Link and dx.Cache carry their own
+// locks, and the SQL SELECT path is read-only. Results are collected by
+// input position, so ordering is deterministic regardless of worker
+// interleaving; each worker runs the same retrying RunQuery path, so
+// PR 1's fault-resilience guarantees carry over unchanged.
+//
+// What is NOT deterministic under concurrency: per-query I/O counters
+// (QueryMeta deltas interleave — see the note on QueryMeta) and the
+// assignment of fault-injector draws to queries (the injector stream is
+// consumed in arrival order at the device). Measured experiments that
+// need exact per-query counters or a reproducible fault schedule run
+// serially, as the paper's did.
+
+// BatchItem is one completed entry of a RunQueries batch: the spec, and
+// either its result or its error.
+type BatchItem struct {
+	Spec QuerySpec
+	Res  *QueryResult
+	Err  error
+}
+
+// RunQueries executes the specs across a bounded worker pool and
+// returns one BatchItem per spec, in input order. workers <= 0 takes
+// the pool size from Config.Workers; a resolved size of 0 or 1 runs
+// serially on the calling goroutine. Individual query failures (after
+// RunQuery's own retries) land in their item's Err; the batch always
+// completes.
+func (s *System) RunQueries(specs []QuerySpec, workers int) []BatchItem {
+	if workers <= 0 {
+		workers = s.Cfg.Workers
+	}
+	out := make([]BatchItem, len(specs))
+	for i, spec := range specs {
+		out[i].Spec = spec
+	}
+	if workers <= 1 || len(specs) <= 1 {
+		for i, spec := range specs {
+			out[i].Res, out[i].Err = s.RunQuery(spec)
+		}
+		return out
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i].Res, out[i].Err = s.RunQuery(out[i].Spec)
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+// BatchSim prices a completed batch with the cost model's simulated
+// clock: serial is the sum of every successful item's simulated total
+// (one query after another, the paper's protocol), parallel is the
+// makespan of list-scheduling the same durations over the given worker
+// count in input order — the simulated wall clock of the executor. On
+// hardware with fewer cores than workers the measured wall clock is
+// capped by the machine; the simulated ratio prices what the overlap
+// buys on the modeled 1993 testbed, deterministically.
+func BatchSim(items []BatchItem, workers int) (serial, parallel time.Duration) {
+	if workers < 1 {
+		workers = 1
+	}
+	busy := make([]time.Duration, workers)
+	for _, item := range items {
+		if item.Res == nil {
+			continue
+		}
+		d := item.Res.Timing.TotalSim
+		serial += d
+		// Next item goes to the earliest-free worker.
+		min := 0
+		for w := 1; w < workers; w++ {
+			if busy[w] < busy[min] {
+				min = w
+			}
+		}
+		busy[min] += d
+	}
+	for _, b := range busy {
+		if b > parallel {
+			parallel = b
+		}
+	}
+	return serial, parallel
+}
+
+// ConsistentBandRegion computes the Table 4 answer — the REGION where
+// every listed study has intensities in [bandLo, bandHi] under the
+// given encoding — fetching the per-study band REGIONs concurrently
+// over a bounded pool, then intersecting smallest-first. The result is
+// identical to the serial SQL plan's: each fetch is an independent
+// read, and IntersectN is order-independent.
+func (s *System) ConsistentBandRegion(studies []int, bandLo, bandHi int, encoding string, workers int) (*region.Region, error) {
+	if len(studies) == 0 {
+		return nil, fmt.Errorf("qbism: ConsistentBandRegion needs at least one study")
+	}
+	if workers <= 0 {
+		workers = s.Cfg.Workers
+	}
+	if workers > len(studies) {
+		workers = len(studies)
+	}
+	regions := make([]*region.Region, len(studies))
+	errs := make([]error, len(studies))
+	fetch := func(i int) {
+		regions[i], errs[i] = s.fetchBandRegion(studies[i], bandLo, bandHi, encoding)
+	}
+	if workers <= 1 {
+		for i := range studies {
+			fetch(i)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					fetch(i)
+				}
+			}()
+		}
+		for i := range studies {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("qbism: study %d band [%d,%d] %s: %w",
+				studies[i], bandLo, bandHi, encoding, err)
+		}
+	}
+	return region.IntersectN(regions...)
+}
+
+// fetchBandRegion reads one study's stored band REGION and recodes it
+// onto the system curve (mirroring the nIntersect UDF's normalization).
+func (s *System) fetchBandRegion(studyID, bandLo, bandHi int, encoding string) (*region.Region, error) {
+	res, err := s.DB.Exec(fmt.Sprintf(`
+select ib.region
+from   intensityBand ib
+where  ib.studyId = %d and ib.lo = %d and ib.hi = %d and ib.encoding = '%s'`,
+		studyID, bandLo, bandHi, escapeSQL(encoding)))
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) != 1 {
+		return nil, fmt.Errorf("no stored intensityBand row")
+	}
+	r, err := regionFromValue(s.DB, res.Rows[0][0])
+	if err != nil {
+		return nil, err
+	}
+	return r.Recode(s.curveFor(r))
+}
+
+// Table4OneParallel is Table4One with the per-study band fetches fanned
+// out across the worker pool. The row's result columns (runs, voxels)
+// and total page count match the serial plan; only wall-clock CPU
+// changes.
+func (s *System) Table4OneParallel(bandLo, bandHi int, encoding string, workers int) (Table4Row, error) {
+	pets := s.PETStudyIDs()
+	if len(pets) < 2 {
+		return Table4Row{}, fmt.Errorf("qbism: need at least 2 PET studies, have %d", len(pets))
+	}
+	pages0 := s.LFM.Stats().PageReads
+	start := time.Now()
+	out, err := s.ConsistentBandRegion(pets, bandLo, bandHi, encoding, workers)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	cpu := time.Since(start)
+	pages := s.LFM.Stats().PageReads - pages0
+	return Table4Row{
+		Encoding:    encoding,
+		NumStudies:  len(pets),
+		LFMPages:    pages,
+		CPUMeasured: cpu,
+		RealSim:     s.Model.StarburstTime(cpu, pages),
+		ResultRuns:  out.NumRuns(),
+		ResultVox:   out.NumVoxels(),
+	}, nil
+}

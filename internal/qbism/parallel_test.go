@@ -1,0 +1,174 @@
+package qbism
+
+import (
+	"bytes"
+	"testing"
+
+	"qbism/internal/faultsim"
+)
+
+// TestRunQueriesMatchesSerial fans the whole chaos spec pool across 4
+// workers and checks every result against a serial run: same order,
+// same bytes, no errors. Run under -race this is also the concurrency
+// proof for the full query stack (LFM mutex, link lock, read-only SQL).
+func TestRunQueriesMatchesSerial(t *testing.T) {
+	sys, err := New(chaosBaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := chaosSpecPool(sys)
+	want := make([][]byte, len(pool))
+	for i, spec := range pool {
+		res, err := sys.RunQuery(spec)
+		if err != nil {
+			t.Fatalf("serial %s: %v", spec.Label(), err)
+		}
+		want[i] = marshalResult(t, sys, res)
+	}
+
+	items := sys.RunQueries(pool, 4)
+	if len(items) != len(pool) {
+		t.Fatalf("got %d items for %d specs", len(items), len(pool))
+	}
+	for i, item := range items {
+		if item.Spec.Key() != pool[i].Key() {
+			t.Fatalf("item %d out of order: got %s, want %s", i, item.Spec.Label(), pool[i].Label())
+		}
+		if item.Err != nil {
+			t.Fatalf("item %d (%s): %v", i, item.Spec.Label(), item.Err)
+		}
+		if got := marshalResult(t, sys, item.Res); !bytes.Equal(got, want[i]) {
+			t.Fatalf("item %d (%s): parallel result differs from serial", i, item.Spec.Label())
+		}
+	}
+}
+
+// TestRunQueriesSerialFallback checks the workers<=1 and Config.Workers
+// plumbing paths.
+func TestRunQueriesSerialFallback(t *testing.T) {
+	cfg := chaosBaseConfig()
+	cfg.Workers = 3
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := chaosSpecPool(sys)[:6]
+	// workers=0 defers to Config.Workers (3); workers=1 forces serial.
+	for _, w := range []int{0, 1} {
+		items := sys.RunQueries(pool, w)
+		for i, item := range items {
+			if item.Err != nil {
+				t.Fatalf("workers=%d item %d: %v", w, i, item.Err)
+			}
+			if item.Spec.Key() != pool[i].Key() {
+				t.Fatalf("workers=%d item %d out of order", w, i)
+			}
+		}
+	}
+	if items := sys.RunQueries(nil, 4); len(items) != 0 {
+		t.Errorf("empty batch returned %d items", len(items))
+	}
+}
+
+// TestRunQueriesUnderFaults runs a parallel batch against an injected
+// fault load: every failure must be typed retryable, every success
+// byte-identical to the fault-free baseline. Fault-to-query assignment
+// is timing-dependent under concurrency, so this asserts outcome
+// integrity, not a specific schedule; the deterministic-schedule and
+// 95%-success guarantees are covered serially in chaos_test.go.
+func TestRunQueriesUnderFaults(t *testing.T) {
+	clean, err := New(chaosBaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := chaosSpecPool(clean)
+	want := make(map[string][]byte)
+	for _, spec := range pool {
+		res, err := clean.RunQuery(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[spec.Key()] = marshalResult(t, clean, res)
+	}
+
+	cfg := chaosBaseConfig()
+	cfg.CachePages = 32
+	cfg.ReadGapPages = 4
+	cfg.DeviceFaults = &faultsim.Policy{Seed: 77, ReadErrProb: 0.01, PageCorruptProb: 0.01}
+	cfg.Retry = DefaultRetryPolicy()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var specs []QuerySpec
+	for i := 0; i < 4; i++ {
+		specs = append(specs, pool...)
+	}
+	items := sys.RunQueries(specs, 4)
+	succeeded := 0
+	for _, item := range items {
+		if item.Err != nil {
+			if !RetryableError(item.Err) {
+				t.Fatalf("%s: fatal-classified error escaped: %v", item.Spec.Label(), item.Err)
+			}
+			continue
+		}
+		succeeded++
+		if got := marshalResult(t, sys, item.Res); !bytes.Equal(got, want[item.Spec.Key()]) {
+			t.Fatalf("%s: parallel result under faults differs from baseline", item.Spec.Label())
+		}
+	}
+	if rate := float64(succeeded) / float64(len(items)); rate < 0.9 {
+		t.Errorf("success rate %.3f under light faults (%d/%d)", rate, succeeded, len(items))
+	}
+}
+
+// TestTable4ParallelMatchesSerial checks the parallel multi-study plan
+// returns exactly the serial SQL plan's row: same result region, same
+// total page count.
+func TestTable4ParallelMatchesSerial(t *testing.T) {
+	cfg := chaosBaseConfig()
+	cfg.ExtraBandEncodings = true
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := sys.BandRegions[sys.PETStudyIDs()[0]]
+	b := bands[len(bands)/2]
+	for _, enc := range []string{EncHilbertNaive, EncZNaive, EncOctant} {
+		serial, err := sys.Table4One(int(b.Lo), int(b.Hi), enc)
+		if err != nil {
+			t.Fatalf("%s serial: %v", enc, err)
+		}
+		par, err := sys.Table4OneParallel(int(b.Lo), int(b.Hi), enc, 4)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", enc, err)
+		}
+		if par.ResultRuns != serial.ResultRuns || par.ResultVox != serial.ResultVox {
+			t.Errorf("%s: parallel result %d runs/%d vox != serial %d/%d",
+				enc, par.ResultRuns, par.ResultVox, serial.ResultRuns, serial.ResultVox)
+		}
+		if par.LFMPages != serial.LFMPages {
+			t.Errorf("%s: parallel pages %d != serial %d", enc, par.LFMPages, serial.LFMPages)
+		}
+		if par.NumStudies != serial.NumStudies {
+			t.Errorf("%s: study counts differ", enc)
+		}
+	}
+}
+
+// TestConsistentBandRegionErrors covers the unhappy paths.
+func TestConsistentBandRegionErrors(t *testing.T) {
+	sys, err := New(chaosBaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ConsistentBandRegion(nil, 0, 31, EncHilbertNaive, 2); err == nil {
+		t.Error("empty study list accepted")
+	}
+	// A band that was never stored must fail, not silently intersect.
+	if _, err := sys.ConsistentBandRegion(sys.PETStudyIDs(), 1, 2, EncHilbertNaive, 2); err == nil {
+		t.Error("missing stored band accepted")
+	}
+}

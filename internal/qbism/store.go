@@ -95,6 +95,26 @@ func regionFromValue(db *sdb.DB, v sdb.Value) (*region.Region, error) {
 // ExtractStored is exported for the benchmark harness and for callers
 // composing their own storage layers.
 func ExtractStored(m *lfm.Manager, h lfm.Handle, r *region.Region) (*volume.DataRegion, error) {
+	return ExtractStoredOpts(m, h, r, ExtractOpts{})
+}
+
+// ExtractOpts tunes the physical read plan of ExtractStoredOpts.
+type ExtractOpts struct {
+	// GapPages is the largest page gap between two run ranges worth
+	// reading through rather than issuing a separate read: ranges
+	// separated by at most GapPages unneeded pages are coalesced into one
+	// contiguous fetch. Zero reproduces the seed plan (merge only
+	// adjacent/overlapping ranges). The break-even value for a given
+	// device is costmodel.CoalesceGapPages — the mingap analysis of
+	// region/approx.go applied to device seeks instead of run encoding.
+	GapPages uint64
+}
+
+// ExtractStoredOpts is ExtractStored with a tunable read plan. The
+// result is byte-identical for every opts value; only the number and
+// size of device reads change (coalescing only ever widens a fetched
+// range, and runs are always assembled from the range that covers them).
+func ExtractStoredOpts(m *lfm.Manager, h lfm.Handle, r *region.Region, opts ExtractOpts) (*volume.DataRegion, error) {
 	size, err := m.Size(h)
 	if err != nil {
 		return nil, err
@@ -108,12 +128,13 @@ func ExtractStored(m *lfm.Manager, h lfm.Handle, r *region.Region) (*volume.Data
 	}
 	pageSize := m.PageSize()
 
-	// Merge runs into page-aligned ranges.
+	// Merge runs into page-aligned ranges, reading through gaps of up to
+	// GapPages pages (one wide transfer beats an extra seek).
 	type prange struct{ first, last uint64 } // page numbers, inclusive
 	var ranges []prange
 	for _, run := range runs {
 		first, last := run.Lo/pageSize, run.Hi/pageSize
-		if n := len(ranges); n > 0 && first <= ranges[n-1].last+1 {
+		if n := len(ranges); n > 0 && first <= ranges[n-1].last+1+opts.GapPages {
 			if last > ranges[n-1].last {
 				ranges[n-1].last = last
 			}

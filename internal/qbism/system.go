@@ -76,6 +76,20 @@ type Config struct {
 	// The zero value means a single attempt; DefaultRetryPolicy() is a
 	// sensible production setting.
 	Retry RetryPolicy
+
+	// CachePages, when positive, enables a CLOCK page cache of that many
+	// 4 KB pages in front of the LFM device. Zero keeps the paper's
+	// unbuffered protocol: every page touch is a device read, so Table
+	// 3/4 counts reproduce exactly.
+	CachePages int
+	// ReadGapPages is the largest page gap between two REGION run ranges
+	// worth reading through in one contiguous device transfer instead of
+	// two seeks (see ExtractOpts.GapPages). Zero reproduces the seed
+	// read plan; Model.CoalesceGapPages() is the device break-even.
+	ReadGapPages uint64
+	// Workers bounds the parallel executor's worker pool for multi-study
+	// batches (RunQueries, Table4Parallel). Zero or one means serial.
+	Workers int
 }
 
 // withDefaults fills zero fields.
@@ -204,7 +218,16 @@ func New(cfg Config) (*System, error) {
 		s.DeviceFaults = faultsim.New(*cfg.DeviceFaults)
 		s.LFM.SetFaults(s.DeviceFaults)
 	}
+	// The cache likewise covers only query traffic, never the load.
+	if cfg.CachePages > 0 {
+		s.LFM.EnableCache(cfg.CachePages)
+	}
 	return s, nil
+}
+
+// extractOpts returns the read-plan options the spatial UDFs use.
+func (s *System) extractOpts() ExtractOpts {
+	return ExtractOpts{GapPages: s.Cfg.ReadGapPages}
 }
 
 // createSchema issues the DDL for the Figure 1 schema.

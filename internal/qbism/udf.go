@@ -73,7 +73,7 @@ func (s *System) registerSpatialUDFs() error {
 						return sdb.Value{}, err
 					}
 				}
-				d, err := ExtractStored(db.LFM(), args[0].L, r)
+				d, err := ExtractStoredOpts(db.LFM(), args[0].L, r, s.extractOpts())
 				if err != nil {
 					return sdb.Value{}, err
 				}

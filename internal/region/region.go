@@ -205,12 +205,20 @@ func mergeSorted(rs []Run) []Run {
 }
 
 // FromIDs builds a region from an unordered set of curve positions.
+// The input slice is not modified.
 func FromIDs(c sfc.Curve, ids []uint64) (*Region, error) {
-	if len(ids) == 0 {
-		return Empty(c), nil
-	}
 	sorted := make([]uint64, len(ids))
 	copy(sorted, ids)
+	return fromOwnedIDs(c, sorted)
+}
+
+// fromOwnedIDs is FromIDs for callers that hand over ownership of ids:
+// it sorts in place instead of copying, halving the transient footprint
+// on the Recode hot path (which materializes every voxel id).
+func fromOwnedIDs(c sfc.Curve, sorted []uint64) (*Region, error) {
+	if len(sorted) == 0 {
+		return Empty(c), nil
+	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	var runs []Run
 	cur := Run{Lo: sorted[0], Hi: sorted[0]}
@@ -283,7 +291,7 @@ func (r *Region) Recode(to sfc.Curve) (*Region, error) {
 		ids = append(ids, to.ID(p))
 		return true
 	})
-	return FromIDs(to, ids)
+	return fromOwnedIDs(to, ids)
 }
 
 func sameCurve(a, b sfc.Curve) bool {

@@ -1,6 +1,9 @@
 package region
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // The spatial operators of Section 3.2. All of them run by linearly
 // scanning the run lists of their operands in parallel, the run analog of
@@ -40,25 +43,37 @@ func Intersect(a, b *Region) (*Region, error) {
 // IntersectN intersects all the given regions — the n-way spatial
 // intersection of the multi-study queries (Table 4). It requires at
 // least one region; all must share a curve.
+//
+// Operands are intersected smallest-first (by run count): intersection
+// is commutative and associative and run lists are canonical, so the
+// result is identical in any order, but folding from the sparsest
+// region shrinks the accumulator early and each pairwise pass is
+// O(runs(acc)+runs(next)).
 func IntersectN(regions ...*Region) (*Region, error) {
 	if len(regions) == 0 {
 		return nil, fmt.Errorf("region: IntersectN needs at least one region")
 	}
-	acc := regions[0]
+	// Validate every curve upfront, so reordering can't hide a mismatch
+	// behind an early empty accumulator.
 	for _, r := range regions[1:] {
+		if !sameCurve(r.curve, regions[0].curve) {
+			return nil, errCurveMismatch("intersectN", regions[0], r)
+		}
+	}
+	ordered := make([]*Region, len(regions))
+	copy(ordered, regions)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].NumRuns() < ordered[j].NumRuns()
+	})
+	acc := ordered[0]
+	for _, r := range ordered[1:] {
+		if acc.Empty() {
+			break
+		}
 		var err error
 		acc, err = Intersect(acc, r)
 		if err != nil {
 			return nil, err
-		}
-		if acc.Empty() {
-			// Still validate remaining operands' curves for consistency.
-			for _, rest := range regions {
-				if !sameCurve(rest.curve, acc.curve) {
-					return nil, errCurveMismatch("intersectN", acc, rest)
-				}
-			}
-			break
 		}
 	}
 	return acc, nil

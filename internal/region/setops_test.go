@@ -143,6 +143,50 @@ func TestIntersectN(t *testing.T) {
 	}
 }
 
+func TestIntersectNOrderIndependent(t *testing.T) {
+	// IntersectN folds smallest-first; the result must be identical to
+	// pairwise left-folds in every operand order.
+	a, _ := FromRuns(h3, []Run{{0, 400}})
+	b, _ := FromRuns(h3, []Run{{10, 20}, {30, 40}, {50, 60}, {70, 80}, {90, 100}})
+	c, _ := FromRuns(h3, []Run{{15, 95}})
+	want, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = Intersect(want, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms := [][]*Region{
+		{a, b, c}, {a, c, b}, {b, a, c}, {b, c, a}, {c, a, b}, {c, b, a},
+	}
+	for _, p := range perms {
+		got, err := IntersectN(p[0], p[1], p[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("IntersectN order-dependent: got %v, want %v", got.Runs(), want.Runs())
+		}
+	}
+	// Single operand passes through untouched.
+	got, err := IntersectN(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(b) {
+		t.Error("IntersectN(b) != b")
+	}
+	// An empty operand anywhere empties the result.
+	got, err = IntersectN(a, Empty(h3), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() {
+		t.Error("IntersectN with empty operand not empty")
+	}
+}
+
 func TestComplement(t *testing.T) {
 	r, _ := FromRuns(h2, []Run{{3, 9}})
 	comp, err := Complement(r)

@@ -312,6 +312,23 @@ var (
 	UnmarshalDataRegion = core.UnmarshalDataRegion
 )
 
+// Read-path tuning and the parallel executor (Config.CachePages,
+// Config.ReadGapPages, Config.Workers).
+type (
+	// ExtractOpts tunes run-pruned extraction's physical read plan.
+	ExtractOpts = core.ExtractOpts
+	// BatchItem is one completed entry of a System.RunQueries batch.
+	BatchItem = core.BatchItem
+)
+
+// Run-pruned extraction against a stored VOLUME long field, and batch
+// pricing under the simulated clock.
+var (
+	ExtractStored     = core.ExtractStored
+	ExtractStoredOpts = core.ExtractStoredOpts
+	BatchSim          = core.BatchSim
+)
+
 // Visualization (Data Explorer stand-in).
 type (
 	// Field is an imported renderable scalar field.
