@@ -1,7 +1,8 @@
 # Pre-merge check: vet, build, the full test suite under the race
-# detector (the chaos and netsim concurrency tests are required to be
-# race-clean), and a one-iteration perfbench smoke run. Run `make check`
-# before merging; `make bench` regenerates BENCH_PR2.json.
+# detector (the chaos, netsim, and planner-equivalence concurrency
+# tests are required to be race-clean), and a one-iteration perfbench
+# smoke run. Run `make check` before merging; `make bench` regenerates
+# BENCH_PR3.json.
 
 GO ?= go
 
@@ -22,11 +23,12 @@ race:
 	$(GO) test -race ./...
 
 # Full performance sweep: the Go micro-benchmarks, then the end-to-end
-# perfbench run that writes BENCH_PR2.json (pages read, cache hit rate,
-# ns/op, serial-vs-parallel speedup on both clocks).
+# perfbench run that writes BENCH_PR3.json (pages read, cache hit rate,
+# ns/op, serial-vs-parallel speedup on both clocks, and the planner's
+# pushdown-on/off page A/B).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .  ./internal/sfc
-	$(GO) run ./cmd/perfbench -out BENCH_PR2.json
+	$(GO) run ./cmd/perfbench -out BENCH_PR3.json
 
 # One tiny iteration through every perfbench measurement — catches read
 # path regressions in CI without the full run's cost.

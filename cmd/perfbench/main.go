@@ -1,7 +1,7 @@
-// Command perfbench measures this PR's read-path work end to end — run
-// pruning, gap coalescing, the LFM page cache, and the parallel
-// multi-study executor — and writes a machine-readable summary to
-// BENCH_PR2.json.
+// Command perfbench measures the read path and the SQL planner end to
+// end — run pruning, gap coalescing, the LFM page cache, the parallel
+// multi-study executor, and predicate pushdown A/B — and writes a
+// machine-readable summary to BENCH_PR3.json.
 //
 // Two clocks appear in the output. Wall-clock nanoseconds depend on the
 // host (its CPU count is recorded under "host" so the parallel numbers
@@ -9,18 +9,21 @@
 // pinned near 1x no matter how good the executor is). The simulated
 // numbers come from the repo's 1993 cost model and are deterministic:
 // page counts, cache hit rates, and the simulated batch makespan do not
-// change from host to host.
+// change from host to host. The planner A/B likewise compares LFM page
+// counts, which are exact and host-independent.
 //
-//	perfbench                     # full run, writes BENCH_PR2.json
+//	perfbench                     # full run, writes BENCH_PR3.json
 //	perfbench -smoke -out /tmp/b.json   # one tiny iteration (CI smoke)
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"qbism"
@@ -88,6 +91,17 @@ type parallelReport struct {
 	Table4  speedup `json:"table4_intersection"`
 }
 
+type plannerReport struct {
+	Query            string   `json:"query"`
+	PushdownPages    uint64   `json:"pushdown_pages"`
+	NoPushdownPages  uint64   `json:"no_pushdown_pages"`
+	PagesSavedFactor float64  `json:"pages_saved_factor"`
+	PushdownNsOp     int64    `json:"pushdown_ns_op"`
+	NoPushdownNsOp   int64    `json:"no_pushdown_ns_op"`
+	Identical        bool     `json:"identical_results"`
+	Explain          []string `json:"explain"`
+}
+
 type report struct {
 	Host     hostInfo       `json:"host"`
 	Config   benchConfig    `json:"config"`
@@ -95,10 +109,11 @@ type report struct {
 	GapSweep []gapPoint     `json:"gap_sweep"`
 	Cache    cacheReport    `json:"cache"`
 	Parallel parallelReport `json:"parallel"`
+	Planner  plannerReport  `json:"planner"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "write the JSON report here")
+	out := flag.String("out", "BENCH_PR3.json", "write the JSON report here")
 	smoke := flag.Bool("smoke", false, "tiny single-iteration run (CI smoke test)")
 	bits := flag.Int("bits", 6, "atlas grid bits per axis")
 	pets := flag.Int("pets", 5, "number of PET studies")
@@ -131,6 +146,7 @@ func main() {
 	rep.GapSweep = measureGapSweep(sys, *iters)
 	rep.Cache = measureCache(cfg, *cachePages, *iters)
 	rep.Parallel = measureParallel(sys, *workers)
+	rep.Planner = measurePlanner(sys, *iters)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -153,6 +169,9 @@ func main() {
 	fmt.Printf("batch x%d: wall %.2fx, simulated %.2fx at %d workers (host has %d CPUs)\n",
 		rep.Parallel.Queries, rep.Parallel.Batch.WallSpeedup, rep.Parallel.Batch.SimSpeedup,
 		rep.Parallel.Workers, rep.Host.NumCPU)
+	fmt.Printf("planner: pushdown %d pages vs %d without (%.1fx fewer), identical=%v\n",
+		rep.Planner.PushdownPages, rep.Planner.NoPushdownPages,
+		rep.Planner.PagesSavedFactor, rep.Planner.Identical)
 	fmt.Printf("wrote %s\n", *out)
 }
 
@@ -312,6 +331,81 @@ func measureParallel(sys *qbism.System, workers int) parallelReport {
 	}
 	rep.Table4.WallSpeedup = ratio(rep.Table4.SerialWallNs, rep.Table4.ParallelWallNs)
 	return rep
+}
+
+// plannerSQL is the paper's mixed band+structure query (Table 3's Q6)
+// with one extra spatial guard, numVoxels(as.region) > 0, written
+// deliberately as the FIRST conjunct. With pushdown the planner
+// evaluates it at the atlasStructure scan — once per structure row —
+// and the cheap integer conjuncts run first everywhere. Without
+// pushdown the whole WHERE clause runs in text order at the top of the
+// FROM-order cross product, so the REGION-reading UDF executes for
+// every combination of study x band x structure and the page counter
+// shows exactly what the optimization saves.
+const plannerSQL = `
+select extractVoxels(wv.data, intersection(ib.region, as.region))
+from   warpedVolume wv, intensityBand ib, atlasStructure as, neuralStructure ns
+where  numVoxels(as.region) > 0 and
+       wv.studyId = ? and
+       ib.studyId = wv.studyId and ib.atlasId = wv.atlasId and
+       ib.lo = ? and ib.hi = ? and ib.encoding = ? and
+       as.atlasId = wv.atlasId and
+       as.structureId = ns.structureId and
+       ns.structureName = ?`
+
+// measurePlanner A/Bs the SQL planner on the same loaded system:
+// predicate pushdown + hash joins versus the de-optimized FROM-order
+// nested-loop plan, same query, same binds. Results must be
+// byte-identical; only the accounted LFM pages and wall time differ.
+func measurePlanner(sys *qbism.System, iters int) plannerReport {
+	study := sys.Studies[0].StudyID
+	bands := sys.BandRegions[study]
+	b := bands[len(bands)-1]
+	args := []qbism.SQLValue{
+		qbism.SQLInt(int64(study)),
+		qbism.SQLInt(int64(b.Lo)), qbism.SQLInt(int64(b.Hi)),
+		qbism.SQLStr(qbism.BandEncodingHilbertNaive),
+		qbism.SQLStr("putamen"),
+	}
+	run := func(pushdown bool, its int) (blob []byte, pages uint64, nsOp int64) {
+		sys.DB.SetPushdown(pushdown)
+		before := sys.LFM.Stats().PageReads
+		start := time.Now()
+		var res *qbism.SQLResult
+		for i := 0; i < its; i++ {
+			var err error
+			if res, err = sys.DB.Exec(plannerSQL, args...); err != nil {
+				fail("planner (pushdown=%v): %v", pushdown, err)
+			}
+		}
+		nsOp = time.Since(start).Nanoseconds() / int64(its)
+		pages = (sys.LFM.Stats().PageReads - before) / uint64(its)
+		if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+			fail("planner query returned %d rows", len(res.Rows))
+		}
+		return res.Rows[0][0].Y, pages, nsOp
+	}
+
+	var r plannerReport
+	r.Query = strings.TrimSpace(plannerSQL)
+	var onBlob, offBlob []byte
+	onBlob, r.PushdownPages, r.PushdownNsOp = run(true, iters)
+	// The de-optimized plan evaluates the spatial UDF across the cross
+	// product; one iteration is plenty to count its pages.
+	offBlob, r.NoPushdownPages, r.NoPushdownNsOp = run(false, 1)
+	sys.DB.SetPushdown(true)
+	r.Identical = bytes.Equal(onBlob, offBlob)
+	if r.PushdownPages > 0 {
+		r.PagesSavedFactor = float64(r.NoPushdownPages) / float64(r.PushdownPages)
+	}
+	expl, err := sys.DB.Exec("explain "+plannerSQL, args...)
+	if err != nil {
+		fail("explain: %v", err)
+	}
+	for _, row := range expl.Rows {
+		r.Explain = append(r.Explain, row[0].S)
+	}
+	return r
 }
 
 func ratio(a, b int64) float64 {

@@ -60,12 +60,14 @@ func main() {
 	cachePages := flag.Int("cachepages", 0, "LFM page cache capacity in 4KB pages (0 = no cache, the paper's protocol)")
 	gapPages := flag.Uint64("gappages", 0, "coalesce extraction reads across page gaps up to this wide (0 = exact runs)")
 	workers := flag.Int("workers", 0, "worker pool size for multi-study plans (0/1 = serial)")
+	noPushdown := flag.Bool("nopushdown", false, "disable SQL predicate pushdown and hash joins (A/B baseline)")
 	flag.Parse()
 
 	cfg := qbism.Config{
 		Bits: *bits, NumPET: *pets, NumMRI: *mris, Seed: *seed, SmallStudies: *small,
 		Checksums: *checksums,
 		CachePages: *cachePages, ReadGapPages: *gapPages, Workers: *workers,
+		DisablePushdown: *noPushdown,
 	}
 	if *drop+*timeout+*corrupt+*tamper+*latency > 0 {
 		cfg.LinkFaults = &qbism.FaultPolicy{

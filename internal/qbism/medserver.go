@@ -156,10 +156,34 @@ func (s *System) registerMedicalServer() {
 	})
 }
 
+// querySingle streams a generated SELECT through the iterator API and
+// returns its first row plus the number of rows seen (counting stops at
+// two — one row too many is as wrong as a thousand, and stopping early
+// keeps the executor from materializing a mistaken cross product).
+// The returned row remains valid after the iterator is closed.
+func (s *System) querySingle(sql string, args ...sdb.Value) (row []sdb.Value, n int, err error) {
+	rows, err := s.DB.Query(sql, args...)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer rows.Close()
+	for rows.Next() {
+		if n == 0 {
+			row = rows.Row()
+		}
+		n++
+		if n > 1 {
+			break
+		}
+	}
+	return row, n, rows.Err()
+}
+
 // runMetadataQuery executes the paper's first §3.4 query: verify the
 // warped study exists and fetch atlas space and patient information.
+// User-provided strings travel as bind parameters, never spliced text.
 func (s *System) runMetadataQuery(spec QuerySpec) (*QueryMeta, error) {
-	sql := fmt.Sprintf(`
+	row, n, err := s.querySingle(`
 select a.n, a.x0, a.y0, a.z0, a.dx, a.dy, a.dz,
        a.atlasId, p.name, p.patientId, rv.date
 from   atlas a, rawVolume rv,
@@ -167,94 +191,115 @@ from   atlas a, rawVolume rv,
 where  a.atlasId = wv.atlasId and
        wv.studyId = rv.studyId and
        rv.patientId = p.patientId and
-       rv.studyId = %d and a.atlasName = '%s'`, spec.StudyID, escapeSQL(spec.Atlas))
-	res, err := s.DB.Exec(sql)
+       rv.studyId = ? and a.atlasName = ?`,
+		sdb.Int(int64(spec.StudyID)), sdb.Str(spec.Atlas))
 	if err != nil {
 		return nil, err
 	}
-	if len(res.Rows) != 1 {
+	if n != 1 {
 		return nil, fmt.Errorf("qbism: no warped study %d in atlas %q", spec.StudyID, spec.Atlas)
 	}
-	row := res.Rows[0]
 	return &QueryMeta{
 		N: int(row[0].I), DX: row[4].F, DY: row[5].F, DZ: row[6].F,
 		AtlasID: int(row[7].I), Patient: row[8].S, PatientID: int(row[9].I), Date: row[10].S,
 	}, nil
 }
 
-// runDataQuery builds and executes the second §3.4 query, returning the
-// marshaled DataRegion. The generated SQL mirrors the paper: a call to
+// dataQuerySQL translates a QuerySpec into the second §3.4 SQL query
+// plus its bind values. The generated text mirrors the paper: a call to
 // extractVoxels() with, for mixed queries, intersection() nested inside
-// and additional joins.
+// and additional joins. Every user-influenced value — study, band
+// bounds, encoding, structure and atlas names — binds through `?`
+// placeholders, so quote characters in a structure name are data.
+func dataQuerySQL(spec QuerySpec) (string, []sdb.Value, error) {
+	encoding := spec.Encoding
+	if encoding == "" {
+		encoding = EncHilbertNaive
+	}
+	study := sdb.Int(int64(spec.StudyID))
+	switch {
+	case spec.FullStudy:
+		return `
+select fullVolume(wv.data)
+from   warpedVolume wv
+where  wv.studyId = ?`, []sdb.Value{study}, nil
+
+	case spec.Box != nil && !spec.HasBand && spec.Structure == "":
+		b := spec.Box
+		return `
+select extractVoxels(wv.data, boxRegion(?, ?, ?, ?, ?, ?))
+from   warpedVolume wv
+where  wv.studyId = ?`, []sdb.Value{
+			sdb.Int(int64(b[0])), sdb.Int(int64(b[1])), sdb.Int(int64(b[2])),
+			sdb.Int(int64(b[3])), sdb.Int(int64(b[4])), sdb.Int(int64(b[5])),
+			study}, nil
+
+	case spec.Structure != "" && !spec.HasBand:
+		return `
+select extractVoxels(wv.data, as.region)
+from   warpedVolume wv, atlasStructure as, neuralStructure ns
+where  wv.studyId = ? and
+       wv.atlasId = as.atlasId and
+       as.structureId = ns.structureId and
+       ns.structureName = ?`, []sdb.Value{study, sdb.Str(spec.Structure)}, nil
+
+	case spec.HasBand && spec.Structure == "":
+		return `
+select extractVoxels(wv.data, ib.region)
+from   warpedVolume wv, intensityBand ib
+where  wv.studyId = ? and
+       ib.studyId = wv.studyId and ib.atlasId = wv.atlasId and
+       ib.lo = ? and ib.hi = ? and ib.encoding = ?`, []sdb.Value{
+			study, sdb.Int(int64(spec.BandLo)), sdb.Int(int64(spec.BandHi)),
+			sdb.Str(encoding)}, nil
+
+	case spec.HasBand && spec.Structure != "":
+		// Mixed query: intersection() in the select list, extra joins.
+		return `
+select extractVoxels(wv.data, intersection(ib.region, as.region))
+from   warpedVolume wv, intensityBand ib, atlasStructure as, neuralStructure ns
+where  wv.studyId = ? and
+       ib.studyId = wv.studyId and ib.atlasId = wv.atlasId and
+       ib.lo = ? and ib.hi = ? and ib.encoding = ? and
+       as.atlasId = wv.atlasId and
+       as.structureId = ns.structureId and
+       ns.structureName = ?`, []sdb.Value{
+			study, sdb.Int(int64(spec.BandLo)), sdb.Int(int64(spec.BandHi)),
+			sdb.Str(encoding), sdb.Str(spec.Structure)}, nil
+
+	default:
+		return "", nil, fmt.Errorf("qbism: query spec selects nothing (set FullStudy, Box, Structure, or a band)")
+	}
+}
+
+// runDataQuery executes the second §3.4 query through the streaming
+// iterator, returning the marshaled DataRegion. Because the planner
+// places extractVoxels() in the projection above every pushed filter
+// and join, the expensive long-field read only happens for rows that
+// survived the WHERE clause — and the iterator evaluates it lazily,
+// one row at a time, rather than materializing a result set first.
 //
 // Band queries degrade gracefully: when the stored intensityBand REGION
 // is missing, unreadable, or fails its checksum, the band is recomputed
 // from the stored VOLUME (the slow path — a full-volume scan, roughly
 // Q1's I/O cost) and the returned warning marks the answer Degraded.
 // The voxel bytes are identical to what the fast path would return.
+// With streaming, a checksum/read fault surfaces from the row iterator
+// mid-drain (rows.Err()), not from Exec — querySingle folds both into
+// its error return, so the fallback conditions are unchanged.
 func (s *System) runDataQuery(spec QuerySpec) (blob []byte, warning string, err error) {
-	encoding := spec.Encoding
-	if encoding == "" {
-		encoding = EncHilbertNaive
+	sql, args, err := dataQuerySQL(spec)
+	if err != nil {
+		return nil, "", err
 	}
-	var sql string
-	switch {
-	case spec.FullStudy:
-		sql = fmt.Sprintf(`
-select fullVolume(wv.data)
-from   warpedVolume wv
-where  wv.studyId = %d`, spec.StudyID)
-
-	case spec.Box != nil && !spec.HasBand && spec.Structure == "":
-		b := spec.Box
-		sql = fmt.Sprintf(`
-select extractVoxels(wv.data, boxRegion(%d, %d, %d, %d, %d, %d))
-from   warpedVolume wv
-where  wv.studyId = %d`, b[0], b[1], b[2], b[3], b[4], b[5], spec.StudyID)
-
-	case spec.Structure != "" && !spec.HasBand:
-		sql = fmt.Sprintf(`
-select extractVoxels(wv.data, as.region)
-from   warpedVolume wv, atlasStructure as, neuralStructure ns
-where  wv.studyId = %d and
-       wv.atlasId = as.atlasId and
-       as.structureId = ns.structureId and
-       ns.structureName = '%s'`, spec.StudyID, escapeSQL(spec.Structure))
-
-	case spec.HasBand && spec.Structure == "":
-		sql = fmt.Sprintf(`
-select extractVoxels(wv.data, ib.region)
-from   warpedVolume wv, intensityBand ib
-where  wv.studyId = %d and
-       ib.studyId = wv.studyId and ib.atlasId = wv.atlasId and
-       ib.lo = %d and ib.hi = %d and ib.encoding = '%s'`,
-			spec.StudyID, spec.BandLo, spec.BandHi, escapeSQL(encoding))
-
-	case spec.HasBand && spec.Structure != "":
-		// Mixed query: intersection() in the select list, extra joins.
-		sql = fmt.Sprintf(`
-select extractVoxels(wv.data, intersection(ib.region, as.region))
-from   warpedVolume wv, intensityBand ib, atlasStructure as, neuralStructure ns
-where  wv.studyId = %d and
-       ib.studyId = wv.studyId and ib.atlasId = wv.atlasId and
-       ib.lo = %d and ib.hi = %d and ib.encoding = '%s' and
-       as.atlasId = wv.atlasId and
-       as.structureId = ns.structureId and
-       ns.structureName = '%s'`,
-			spec.StudyID, spec.BandLo, spec.BandHi, escapeSQL(encoding), escapeSQL(spec.Structure))
-
-	default:
-		return nil, "", fmt.Errorf("qbism: query spec selects nothing (set FullStudy, Box, Structure, or a band)")
-	}
-
-	res, err := s.DB.Exec(sql)
+	row, n, err := s.querySingle(sql, args...)
 	if spec.HasBand {
 		switch {
 		case err != nil && (errors.Is(err, lfm.ErrChecksum) || errors.Is(err, lfm.ErrReadFault)):
 			// The stored band REGION (or a joined region) is unreadable.
 			return s.bandSlowPath(spec, fmt.Sprintf(
 				"stored intensityBand [%d,%d] unreadable (%v); recomputed from VOLUME", spec.BandLo, spec.BandHi, err))
-		case err == nil && len(res.Rows) == 0:
+		case err == nil && n == 0:
 			// No matching intensityBand row — the band "index" is missing
 			// for this [lo,hi]; recompute rather than fail.
 			return s.bandSlowPath(spec, fmt.Sprintf(
@@ -264,10 +309,10 @@ where  wv.studyId = %d and
 	if err != nil {
 		return nil, "", err
 	}
-	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
-		return nil, "", fmt.Errorf("qbism: data query returned %d rows (spec %s)", len(res.Rows), spec.Label())
+	if n != 1 || len(row) != 1 {
+		return nil, "", fmt.Errorf("qbism: data query returned %d rows (spec %s)", n, spec.Label())
 	}
-	v := res.Rows[0][0]
+	v := row[0]
 	if v.T != sdb.TBytes {
 		return nil, "", fmt.Errorf("qbism: data query returned %v, want DATA_REGION bytes", v.T)
 	}
@@ -291,34 +336,34 @@ func (s *System) bandSlowPath(spec QuerySpec, warning string) ([]byte, string, e
 	if spec.BandLo < 0 || spec.BandHi > 255 || spec.BandLo > spec.BandHi {
 		return nil, "", fmt.Errorf("qbism: band [%d,%d] outside the 0-255 intensity range", spec.BandLo, spec.BandHi)
 	}
-	res, err := s.DB.Exec(fmt.Sprintf(`
+	row, n, err := s.querySingle(`
 select wv.data
 from   warpedVolume wv, atlas a
-where  wv.studyId = %d and wv.atlasId = a.atlasId and a.atlasName = '%s'`,
-		spec.StudyID, escapeSQL(spec.Atlas)))
+where  wv.studyId = ? and wv.atlasId = a.atlasId and a.atlasName = ?`,
+		sdb.Int(int64(spec.StudyID)), sdb.Str(spec.Atlas))
 	if err != nil {
 		return nil, "", err
 	}
-	if len(res.Rows) != 1 {
+	if n != 1 {
 		return nil, "", fmt.Errorf("qbism: no warped study %d in atlas %q", spec.StudyID, spec.Atlas)
 	}
-	volHandle := res.Rows[0][0].L
+	volHandle := row[0].L
 
 	var d *volume.DataRegion
 	if spec.Structure != "" {
-		sres, err := s.DB.Exec(fmt.Sprintf(`
+		srow, sn, err := s.querySingle(`
 select as.region
 from   atlasStructure as, neuralStructure ns, atlas a
-where  a.atlasName = '%s' and as.atlasId = a.atlasId and
-       as.structureId = ns.structureId and ns.structureName = '%s'`,
-			escapeSQL(spec.Atlas), escapeSQL(spec.Structure)))
+where  a.atlasName = ? and as.atlasId = a.atlasId and
+       as.structureId = ns.structureId and ns.structureName = ?`,
+			sdb.Str(spec.Atlas), sdb.Str(spec.Structure))
 		if err != nil {
 			return nil, "", err
 		}
-		if len(sres.Rows) != 1 {
+		if sn != 1 {
 			return nil, "", fmt.Errorf("qbism: no structure %q in atlas %q", spec.Structure, spec.Atlas)
 		}
-		sr, err := regionFromValue(s.DB, sres.Rows[0][0])
+		sr, err := regionFromValue(s.DB, srow[0])
 		if err != nil {
 			return nil, "", fmt.Errorf("qbism: band slow path: %w", err)
 		}
@@ -357,6 +402,3 @@ where  a.atlasName = '%s' and as.atlasId = a.atlasId and
 	}
 	return blob, warning, nil
 }
-
-// escapeSQL doubles single quotes for embedding in SQL literals.
-func escapeSQL(s string) string { return strings.ReplaceAll(s, "'", "''") }

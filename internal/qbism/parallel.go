@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"qbism/internal/region"
+	"qbism/internal/sdb"
 )
 
 // The parallel executor: multi-study workloads — Table 4's n-way
@@ -166,18 +167,19 @@ func (s *System) ConsistentBandRegion(studies []int, bandLo, bandHi int, encodin
 // fetchBandRegion reads one study's stored band REGION and recodes it
 // onto the system curve (mirroring the nIntersect UDF's normalization).
 func (s *System) fetchBandRegion(studyID, bandLo, bandHi int, encoding string) (*region.Region, error) {
-	res, err := s.DB.Exec(fmt.Sprintf(`
+	row, n, err := s.querySingle(`
 select ib.region
 from   intensityBand ib
-where  ib.studyId = %d and ib.lo = %d and ib.hi = %d and ib.encoding = '%s'`,
-		studyID, bandLo, bandHi, escapeSQL(encoding)))
+where  ib.studyId = ? and ib.lo = ? and ib.hi = ? and ib.encoding = ?`,
+		sdb.Int(int64(studyID)), sdb.Int(int64(bandLo)), sdb.Int(int64(bandHi)),
+		sdb.Str(encoding))
 	if err != nil {
 		return nil, err
 	}
-	if len(res.Rows) != 1 {
+	if n != 1 {
 		return nil, fmt.Errorf("no stored intensityBand row")
 	}
-	r, err := regionFromValue(s.DB, res.Rows[0][0])
+	r, err := regionFromValue(s.DB, row[0])
 	if err != nil {
 		return nil, err
 	}

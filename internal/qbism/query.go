@@ -165,6 +165,32 @@ func (s *System) RunQueryCached(spec QuerySpec) (*QueryResult, bool, error) {
 	return res, false, err
 }
 
+// ExplainSpec renders the physical operator tree for the SQL the
+// MedicalServer would generate for spec — the visibility hook for
+// where the planner placed each spatial predicate relative to the
+// extractVoxels() projection. With analyze set the query actually
+// executes and each line carries its runtime counters (rows in/out,
+// UDF calls, LFM pages charged to that operator's expressions).
+func (s *System) ExplainSpec(spec QuerySpec, analyze bool) ([]string, error) {
+	sql, args, err := dataQuerySQL(spec)
+	if err != nil {
+		return nil, err
+	}
+	prefix := "explain "
+	if analyze {
+		prefix = "explain analyze "
+	}
+	res, err := s.DB.Exec(prefix+sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		lines[i] = row[0].S
+	}
+	return lines, nil
+}
+
 // splitResponse validates the response frame and separates the JSON
 // meta header from the DataRegion blob. Truncated or corrupted frames
 // fail with ErrFrameTruncated/ErrFrameCorrupt — typed, retryable — so

@@ -90,6 +90,15 @@ type Config struct {
 	// Workers bounds the parallel executor's worker pool for multi-study
 	// batches (RunQueries, Table4Parallel). Zero or one means serial.
 	Workers int
+
+	// DisablePushdown turns off the SQL planner's predicate pushdown and
+	// hash joins: every query runs FROM-order nested loops with one
+	// monolithic WHERE filter at the top. Spatial predicates then
+	// evaluate only after all joins, so long-field REGION pages are read
+	// for rows a pushed filter would have discarded first. For A/B
+	// benchmarks (cmd/perfbench) — results are identical, only the
+	// per-row page accounting and CPU change.
+	DisablePushdown bool
 }
 
 // withDefaults fills zero fields.
@@ -191,6 +200,7 @@ func New(cfg Config) (*System, error) {
 		AtlasID:     1,
 		BandRegions: make(map[int][]volume.BandSpec),
 	}
+	s.DB.SetPushdown(!cfg.DisablePushdown)
 	if err := s.createSchema(); err != nil {
 		return nil, err
 	}

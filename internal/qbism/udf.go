@@ -12,33 +12,37 @@ import (
 
 // registerSpatialUDFs installs the spatial operators of Section 3.2 (and
 // the helpers the MedicalServer's generated SQL uses) as user-defined
-// SQL functions, the way the prototype extended Starburst.
+// SQL functions, the way the prototype extended Starburst. Each carries
+// a relative Cost hint so the planner orders same-level predicates
+// cheapest-first: voxel extraction (a long-field read) is priced far
+// above region algebra, which is priced above pure geometry like
+// boxRegion.
 func (s *System) registerSpatialUDFs() error {
 	udfs := []*sdb.UDF{
 		{
 			// INTERSECTION(REGION r1, REGION r2) -> REGION
-			Name: "intersection", MinArgs: 2, MaxArgs: 2,
+			Name: "intersection", MinArgs: 2, MaxArgs: 2, Cost: 20,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
 				return s.regionBinop(db, args, region.Intersect)
 			},
 		},
 		{
 			// UNION(r1, r2), mentioned as a straightforward extension.
-			Name: "unionRegion", MinArgs: 2, MaxArgs: 2,
+			Name: "unionRegion", MinArgs: 2, MaxArgs: 2, Cost: 20,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
 				return s.regionBinop(db, args, region.Union)
 			},
 		},
 		{
 			// DIFFERENCE(r1, r2), likewise.
-			Name: "differenceRegion", MinArgs: 2, MaxArgs: 2,
+			Name: "differenceRegion", MinArgs: 2, MaxArgs: 2, Cost: 20,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
 				return s.regionBinop(db, args, region.Difference)
 			},
 		},
 		{
 			// CONTAINS(REGION r1, REGION r2) -> BOOLEAN
-			Name: "contains", MinArgs: 2, MaxArgs: 2,
+			Name: "contains", MinArgs: 2, MaxArgs: 2, Cost: 20,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
 				a, err := regionFromValue(db, args[0])
 				if err != nil {
@@ -57,7 +61,7 @@ func (s *System) registerSpatialUDFs() error {
 		},
 		{
 			// EXTRACT_DATA(VOLUME v, REGION r) -> DATA_REGION
-			Name: "extractVoxels", MinArgs: 2, MaxArgs: 2,
+			Name: "extractVoxels", MinArgs: 2, MaxArgs: 2, Cost: 100,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
 				if args[0].T != sdb.TLong {
 					return sdb.Value{}, fmt.Errorf("extractVoxels: first argument must be a VOLUME long field, got %s", args[0].T)
@@ -87,7 +91,7 @@ func (s *System) registerSpatialUDFs() error {
 		{
 			// fullVolume(VOLUME v) -> DATA_REGION over the whole grid
 			// (the "flat file" access path of query Q1).
-			Name: "fullVolume", MinArgs: 1, MaxArgs: 1,
+			Name: "fullVolume", MinArgs: 1, MaxArgs: 1, Cost: 100,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
 				if args[0].T != sdb.TLong {
 					return sdb.Value{}, fmt.Errorf("fullVolume: argument must be a VOLUME long field, got %s", args[0].T)
@@ -110,7 +114,7 @@ func (s *System) registerSpatialUDFs() error {
 		{
 			// boxRegion(x0,y0,z0,x1,y1,z1) -> REGION for geometric probes
 			// such as Q2's rectangular solid.
-			Name: "boxRegion", MinArgs: 6, MaxArgs: 6,
+			Name: "boxRegion", MinArgs: 6, MaxArgs: 6, Cost: 1,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
 				var c [6]uint32
 				for i, a := range args {
@@ -132,7 +136,7 @@ func (s *System) registerSpatialUDFs() error {
 		{
 			// nIntersect(r1, ..., rn) -> REGION: the n-way spatial
 			// intersection of the multi-study queries (Table 4).
-			Name: "nIntersect", MinArgs: 1, MaxArgs: -1,
+			Name: "nIntersect", MinArgs: 1, MaxArgs: -1, Cost: 20,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
 				regions := make([]*region.Region, len(args))
 				for i, a := range args {
@@ -159,7 +163,7 @@ func (s *System) registerSpatialUDFs() error {
 			},
 		},
 		{
-			Name: "numVoxels", MinArgs: 1, MaxArgs: 1,
+			Name: "numVoxels", MinArgs: 1, MaxArgs: 1, Cost: 10,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
 				r, err := regionFromValue(db, args[0])
 				if err != nil {
@@ -169,7 +173,7 @@ func (s *System) registerSpatialUDFs() error {
 			},
 		},
 		{
-			Name: "numRuns", MinArgs: 1, MaxArgs: 1,
+			Name: "numRuns", MinArgs: 1, MaxArgs: 1, Cost: 10,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
 				r, err := regionFromValue(db, args[0])
 				if err != nil {
@@ -181,7 +185,7 @@ func (s *System) registerSpatialUDFs() error {
 		{
 			// avgIntensity(DATA_REGION) -> FLOAT, a statistical response
 			// over an extraction.
-			Name: "avgIntensity", MinArgs: 1, MaxArgs: 1,
+			Name: "avgIntensity", MinArgs: 1, MaxArgs: 1, Cost: 10,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
 				if args[0].T != sdb.TBytes {
 					return sdb.Value{}, fmt.Errorf("avgIntensity: argument must be a DATA_REGION")

@@ -6,7 +6,7 @@ package sdb
 type Statement interface{ stmt() }
 
 // SelectStmt is SELECT exprs FROM tables [WHERE cond]
-// [GROUP BY exprs] [ORDER BY items] [LIMIT n].
+// [GROUP BY exprs] [ORDER BY items] [LIMIT n] [OFFSET m].
 type SelectStmt struct {
 	Exprs   []SelectItem
 	From    []TableRef
@@ -14,6 +14,7 @@ type SelectStmt struct {
 	GroupBy []Expr
 	OrderBy []OrderItem
 	Limit   int // -1 when absent
+	Offset  int // 0 when absent
 }
 
 // OrderItem is one ORDER BY entry.
@@ -109,9 +110,17 @@ type FuncCall struct {
 // StarExpr is the "*" inside COUNT(*).
 type StarExpr struct{}
 
-func (*Literal) expr()    {}
-func (*ColumnRef) expr()  {}
-func (*BinaryExpr) expr() {}
-func (*UnaryExpr) expr()  {}
-func (*FuncCall) expr()   {}
-func (*StarExpr) expr()   {}
+// Placeholder is a "?" bind parameter. Idx is the zero-based ordinal in
+// parse order; the value is supplied at execution time via the args of
+// Exec/Query, which keeps user strings out of the SQL text entirely.
+type Placeholder struct {
+	Idx int
+}
+
+func (*Literal) expr()     {}
+func (*ColumnRef) expr()   {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*FuncCall) expr()    {}
+func (*StarExpr) expr()    {}
+func (*Placeholder) expr() {}

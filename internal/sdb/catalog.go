@@ -39,6 +39,8 @@ type DB struct {
 	tables map[string]*Table
 	udfs   map[string]*UDF
 	lfm    *lfm.Manager
+
+	noPushdown bool // zero value = predicate pushdown enabled
 }
 
 // NewDB creates an empty database backed by the given long field
@@ -53,6 +55,15 @@ func NewDB(m *lfm.Manager) *DB {
 
 // LFM returns the long field manager, or nil.
 func (db *DB) LFM() *lfm.Manager { return db.lfm }
+
+// SetPushdown toggles predicate pushdown in the planner. With it off,
+// SELECTs join in FROM order with nested loops and evaluate the whole
+// WHERE clause on top — the naive plan, kept for benchmarking the
+// optimizer against itself. Not safe to call concurrently with queries.
+func (db *DB) SetPushdown(on bool) { db.noPushdown = !on }
+
+// PushdownEnabled reports whether predicate pushdown is active.
+func (db *DB) PushdownEnabled() bool { return !db.noPushdown }
 
 // Table looks up a table by name (case-insensitive).
 func (db *DB) Table(name string) (*Table, error) {
@@ -127,11 +138,15 @@ func (db *DB) RegisterUDF(u *UDF) error {
 }
 
 // UDF is a user-defined SQL function. Fn receives the database (for
-// long-field access) and the evaluated arguments.
+// long-field access) and the evaluated arguments. Cost is an optional
+// planner hint: same-node filter predicates run cheapest-first, so an
+// expensive extraction function should carry a high Cost and a fast
+// region test a low one. Zero is fine for trivial functions.
 type UDF struct {
 	Name    string
 	MinArgs int
 	MaxArgs int // -1 for variadic
+	Cost    int
 	Fn      func(db *DB, args []Value) (Value, error)
 }
 

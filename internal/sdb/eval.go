@@ -13,10 +13,14 @@ type frame struct {
 	row   []Value
 }
 
-// env is the evaluation environment: the bound frames, in join order.
+// env is the evaluation environment: the bound frames, in join order,
+// plus the statement's bind-parameter values and an optional operator
+// stats sink that UDF invocations are charged to.
 type env struct {
 	db     *DB
 	frames []frame
+	params []Value
+	st     *opStats
 }
 
 // lookupColumn resolves a (possibly qualified) column reference against
@@ -56,6 +60,11 @@ func (e *env) eval(x Expr) (Value, error) {
 	switch n := x.(type) {
 	case *Literal:
 		return n.Val, nil
+	case *Placeholder:
+		if n.Idx < 0 || n.Idx >= len(e.params) {
+			return Value{}, fmt.Errorf("sdb: no value bound for parameter %d", n.Idx+1)
+		}
+		return e.params[n.Idx], nil
 	case *ColumnRef:
 		return e.lookupColumn(n)
 	case *UnaryExpr:
@@ -98,6 +107,9 @@ func (e *env) eval(x Expr) (Value, error) {
 				return Value{}, err
 			}
 			args[i] = v
+		}
+		if e.st != nil {
+			e.st.udfCalls++
 		}
 		out, err := u.Fn(e.db, args)
 		if err != nil {
@@ -228,8 +240,8 @@ func arith(op string, l, r Value) (Value, error) {
 }
 
 // constEval evaluates an expression with no table context (for INSERT
-// values).
-func constEval(db *DB, x Expr) (Value, error) {
-	e := &env{db: db}
+// values), with bind parameters available.
+func constEval(db *DB, x Expr, params []Value) (Value, error) {
+	e := &env{db: db, params: params}
 	return e.eval(x)
 }

@@ -2,7 +2,6 @@ package sdb
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -14,18 +13,19 @@ type Result struct {
 	Affected int
 }
 
-// Exec parses and executes one SQL statement.
-func (db *DB) Exec(sql string) (*Result, error) {
+// Exec parses and executes one SQL statement. Optional args supply
+// values for "?" bind placeholders, in order.
+func (db *DB) Exec(sql string, args ...Value) (*Result, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStmt(stmt)
+	return db.ExecStmt(stmt, args...)
 }
 
 // MustExec is Exec but panics on error; for loaders and tests.
-func (db *DB) MustExec(sql string) *Result {
-	res, err := db.Exec(sql)
+func (db *DB) MustExec(sql string, args ...Value) *Result {
+	res, err := db.Exec(sql, args...)
 	if err != nil {
 		panic(err)
 	}
@@ -33,7 +33,10 @@ func (db *DB) MustExec(sql string) *Result {
 }
 
 // ExecStmt executes a parsed statement.
-func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
+func (db *DB) ExecStmt(stmt Statement, args ...Value) (*Result, error) {
+	if want := countPlaceholders(stmt); want != len(args) {
+		return nil, fmt.Errorf("sdb: statement has %d bind parameter(s), got %d argument(s)", want, len(args))
+	}
 	switch s := stmt.(type) {
 	case *CreateTableStmt:
 		if _, err := db.CreateTable(s.Name, s.Columns); err != nil {
@@ -41,25 +44,134 @@ func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
 		}
 		return &Result{}, nil
 	case *InsertStmt:
-		return db.execInsert(s)
+		return db.execInsert(s, args)
 	case *SelectStmt:
-		return db.execSelect(s)
+		return db.execSelect(s, args)
 	case *DeleteStmt:
-		return db.execDelete(s)
+		return db.execDelete(s, args)
 	case *UpdateStmt:
-		return db.execUpdate(s)
+		return db.execUpdate(s, args)
 	case *ExplainStmt:
 		sel, ok := s.Stmt.(*SelectStmt)
 		if !ok {
 			return nil, fmt.Errorf("sdb: EXPLAIN supports only SELECT")
 		}
-		return db.explainSelect(sel)
+		return db.explainSelect(sel, args, s.Analyze)
 	default:
 		return nil, fmt.Errorf("sdb: unsupported statement %T", stmt)
 	}
 }
 
-func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
+// Rows is a streaming SELECT result: call Next until it returns false,
+// reading each row with Row, then check Err. Close is idempotent and
+// releases operator state early; it is also called automatically when
+// Next exhausts the input or hits an error.
+type Rows struct {
+	cols   []string
+	root   operator
+	cur    []Value
+	err    error
+	opened bool
+	closed bool
+}
+
+// Columns returns the output column labels.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances to the next row, reporting whether one is available.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if !r.opened {
+		if err := r.root.open(); err != nil {
+			r.err = err
+			r.Close()
+			return false
+		}
+		r.opened = true
+	}
+	t, ok, err := r.root.next()
+	if err != nil {
+		r.err = err
+		r.Close()
+		return false
+	}
+	if !ok {
+		r.Close()
+		return false
+	}
+	r.cur = t.out
+	return true
+}
+
+// Row returns the current row; valid until the next call to Next.
+func (r *Rows) Row() []Value { return r.cur }
+
+// Err returns the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the iterator.
+func (r *Rows) Close() error {
+	if !r.closed {
+		r.closed = true
+		r.root.close()
+	}
+	return nil
+}
+
+// Query parses a SELECT and returns a streaming row iterator; rows are
+// produced incrementally as the caller pulls them, with no full
+// materialization below sort/aggregate boundaries. Optional args bind
+// "?" placeholders.
+func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sdb: Query supports only SELECT, got %T", stmt)
+	}
+	return db.QueryStmt(sel, args...)
+}
+
+// QueryStmt is Query for an already parsed SELECT.
+func (db *DB) QueryStmt(s *SelectStmt, args ...Value) (*Rows, error) {
+	if want := countPlaceholders(s); want != len(args) {
+		return nil, fmt.Errorf("sdb: statement has %d bind parameter(s), got %d argument(s)", want, len(args))
+	}
+	plan, err := db.planSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	root, err := db.buildPipeline(plan, args)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{cols: plan.columns, root: root}, nil
+}
+
+// execSelect runs a SELECT to completion through the iterator pipeline
+// and materializes a Result (the non-streaming entry point).
+func (db *DB) execSelect(s *SelectStmt, args []Value) (*Result, error) {
+	rows, err := db.QueryStmt(s, args...)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	res := &Result{Columns: rows.Columns()}
+	for rows.Next() {
+		res.Rows = append(res.Rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	res.Affected = len(res.Rows)
+	return res, nil
+}
+
+func (db *DB) execInsert(s *InsertStmt, params []Value) (*Result, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -89,7 +201,7 @@ func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
 			row[i] = Null()
 		}
 		for i, x := range rowExprs {
-			v, err := constEval(db, x)
+			v, err := constEval(db, x, params)
 			if err != nil {
 				return nil, err
 			}
@@ -103,7 +215,7 @@ func (db *DB) execInsert(s *InsertStmt) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
+func (db *DB) execDelete(s *DeleteStmt, params []Value) (*Result, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -113,7 +225,7 @@ func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
 	for _, row := range t.Rows {
 		match := true
 		if s.Where != nil {
-			e := &env{db: db, frames: []frame{{alias: t.Name, table: t, row: row}}}
+			e := &env{db: db, frames: []frame{{alias: t.Name, table: t, row: row}}, params: params}
 			v, err := e.eval(s.Where)
 			if err != nil {
 				return nil, err
@@ -133,14 +245,14 @@ func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
 	return &Result{Affected: deleted}, nil
 }
 
-func (db *DB) execUpdate(s *UpdateStmt) (*Result, error) {
+func (db *DB) execUpdate(s *UpdateStmt, params []Value) (*Result, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return nil, err
 	}
 	updated := 0
 	for ri, row := range t.Rows {
-		e := &env{db: db, frames: []frame{{alias: t.Name, table: t, row: row}}}
+		e := &env{db: db, frames: []frame{{alias: t.Name, table: t, row: row}}, params: params}
 		if s.Where != nil {
 			v, err := e.eval(s.Where)
 			if err != nil {
@@ -189,378 +301,12 @@ type source struct {
 	table *Table
 }
 
-// selectPlan is the compiled form of a SELECT: bound tables in join
-// order, conjuncts assigned to their earliest applicable level, the
-// aggregate calls to accumulate, and the output column labels.
-type selectPlan struct {
-	ordered    []source
-	levelConj  [][]Expr
-	aggCalls   []*FuncCall
-	aggregated bool
-	columns    []string
-}
-
-// planSelect resolves, validates, and plans a SELECT statement.
-func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
-	if len(s.From) == 0 {
-		return nil, fmt.Errorf("sdb: SELECT without FROM")
-	}
-	sources := make([]source, 0, len(s.From))
-	byAlias := make(map[string]*Table)
-	for _, ref := range s.From {
-		t, err := db.Table(ref.Table)
-		if err != nil {
-			return nil, err
-		}
-		key := strings.ToLower(ref.Alias)
-		if _, dup := byAlias[key]; dup {
-			return nil, fmt.Errorf("sdb: duplicate table alias %q", ref.Alias)
-		}
-		byAlias[key] = t
-		sources = append(sources, source{alias: ref.Alias, table: t})
-	}
-
-	// Capture display labels before resolution rewrites qualifiers.
-	labels := make([]string, len(s.Exprs))
-	for i, item := range s.Exprs {
-		if !item.Star {
-			labels[i] = exprLabel(item.Expr)
-		}
-	}
-
-	// Resolve unqualified column references so conjunct alias sets are
-	// exact, then split the WHERE into conjuncts.
-	resolve := func(x Expr) error { return resolveColumns(x, sources2map(sources)) }
-	for _, item := range s.Exprs {
-		if !item.Star {
-			if err := resolve(item.Expr); err != nil {
-				return nil, err
-			}
-		}
-	}
-	var conjuncts []conjunct
-	if s.Where != nil {
-		if err := resolve(s.Where); err != nil {
-			return nil, err
-		}
-		var aggCheck []*FuncCall
-		if err := collectAggregates(s.Where, &aggCheck, false); err != nil {
-			return nil, err
-		}
-		if len(aggCheck) > 0 {
-			return nil, fmt.Errorf("sdb: aggregates are not allowed in WHERE")
-		}
-		for _, c := range splitConjuncts(s.Where) {
-			conjuncts = append(conjuncts, conjunct{expr: c, aliases: exprAliases(c)})
-		}
-	}
-	for _, g := range s.GroupBy {
-		if err := resolve(g); err != nil {
-			return nil, err
-		}
-	}
-	for _, oi := range s.OrderBy {
-		if err := resolve(oi.Expr); err != nil {
-			return nil, err
-		}
-	}
-
-	// Detect aggregation and collect the aggregate calls to accumulate.
-	var aggCalls []*FuncCall
-	for _, item := range s.Exprs {
-		if !item.Star {
-			if err := collectAggregates(item.Expr, &aggCalls, false); err != nil {
-				return nil, err
-			}
-		}
-	}
-	for _, oi := range s.OrderBy {
-		if err := collectAggregates(oi.Expr, &aggCalls, false); err != nil {
-			return nil, err
-		}
-	}
-	aggregated := len(aggCalls) > 0 || len(s.GroupBy) > 0
-
-	// Join order: greedy — start from the FROM order but always prefer
-	// the table that binds the most not-yet-applied conjuncts next
-	// (single-table filters first, then join-connected tables). This is
-	// a poor man's version of Starburst's join enumeration, enough to
-	// avoid pathological cross products on the paper's queries.
-	order := planOrder(sources2aliases(sources), conjuncts)
-	ordered := make([]source, 0, len(sources))
-	for _, a := range order {
-		for _, src := range sources {
-			if strings.EqualFold(src.alias, a) {
-				ordered = append(ordered, src)
-			}
-		}
-	}
-
-	// Assign each conjunct to the earliest level where it is fully bound.
-	levelConj := make([][]Expr, len(ordered))
-	for _, c := range conjuncts {
-		level := 0
-		remaining := len(c.aliases)
-		for li, src := range ordered {
-			if c.aliases[strings.ToLower(src.alias)] {
-				remaining--
-				if remaining == 0 {
-					level = li
-					break
-				}
-			}
-		}
-		levelConj[level] = append(levelConj[level], c.expr)
-	}
-
-	// Result columns.
-	var columns []string
-	for i, item := range s.Exprs {
-		if item.Star {
-			for _, src := range ordered {
-				for _, col := range src.table.Columns {
-					columns = append(columns, src.alias+"."+col.Name)
-				}
-			}
-		} else {
-			columns = append(columns, labels[i])
-		}
-	}
-
-	if aggregated {
-		for _, item := range s.Exprs {
-			if item.Star {
-				return nil, fmt.Errorf("sdb: SELECT * cannot be combined with aggregates or GROUP BY")
-			}
-		}
-	}
-
-	return &selectPlan{
-		ordered:    ordered,
-		levelConj:  levelConj,
-		aggCalls:   aggCalls,
-		aggregated: aggregated,
-		columns:    columns,
-	}, nil
-}
-
-func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
-	plan, err := db.planSelect(s)
-	if err != nil {
-		return nil, err
-	}
-	ordered := plan.ordered
-	levelConj := plan.levelConj
-	aggCalls := plan.aggCalls
-	aggregated := plan.aggregated
-	columns := plan.columns
-
-	res := &Result{Columns: columns}
-	e := &env{db: db, frames: make([]frame, 0, len(ordered))}
-	var sortKeys [][]Value // parallel to res.Rows when ORDER BY present
-
-	// Aggregation state (used only when aggregated).
-	groups := make(map[string]*group)
-	var groupOrder []string
-
-	// onRow handles one fully bound row.
-	onRow := func() error {
-		if aggregated {
-			keyVals := make([]Value, len(s.GroupBy))
-			for i, g := range s.GroupBy {
-				v, err := e.eval(g)
-				if err != nil {
-					return err
-				}
-				keyVals[i] = v
-			}
-			key := groupKey(keyVals)
-			grp, ok := groups[key]
-			if !ok {
-				grp = &group{frames: append([]frame(nil), e.frames...)}
-				for _, c := range aggCalls {
-					grp.aggs = append(grp.aggs, newAggState(strings.ToLower(c.Name)))
-				}
-				groups[key] = grp
-				groupOrder = append(groupOrder, key)
-			}
-			for i, c := range aggCalls {
-				if _, star := c.Args[0].(*StarExpr); star {
-					if err := grp.aggs[i].update(Value{}, true); err != nil {
-						return err
-					}
-					continue
-				}
-				v, err := e.eval(c.Args[0])
-				if err != nil {
-					return err
-				}
-				if err := grp.aggs[i].update(v, false); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		out := make([]Value, 0, len(columns))
-		for _, item := range s.Exprs {
-			if item.Star {
-				for _, f := range e.frames {
-					out = append(out, f.row...)
-				}
-				continue
-			}
-			v, err := e.eval(item.Expr)
-			if err != nil {
-				return err
-			}
-			out = append(out, v)
-		}
-		res.Rows = append(res.Rows, out)
-		if len(s.OrderBy) > 0 {
-			keys := make([]Value, len(s.OrderBy))
-			for i, oi := range s.OrderBy {
-				v, err := e.eval(oi.Expr)
-				if err != nil {
-					return err
-				}
-				keys[i] = v
-			}
-			sortKeys = append(sortKeys, keys)
-		}
-		return nil
-	}
-
-	var recurse func(level int) error
-	recurse = func(level int) error {
-		if level == len(ordered) {
-			return onRow()
-		}
-		src := ordered[level]
-		for _, row := range src.table.Rows {
-			e.frames = append(e.frames, frame{alias: src.alias, table: src.table, row: row})
-			ok := true
-			for _, pred := range levelConj[level] {
-				v, err := e.eval(pred)
-				if err != nil {
-					e.frames = e.frames[:len(e.frames)-1]
-					return err
-				}
-				if v.T != TBool {
-					e.frames = e.frames[:len(e.frames)-1]
-					return fmt.Errorf("sdb: WHERE conjunct is %s, not BOOL", v.T)
-				}
-				if !v.B {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				if err := recurse(level + 1); err != nil {
-					e.frames = e.frames[:len(e.frames)-1]
-					return err
-				}
-			}
-			e.frames = e.frames[:len(e.frames)-1]
-		}
-		return nil
-	}
-	if err := recurse(0); err != nil {
-		return nil, err
-	}
-
-	if aggregated {
-		// A grand aggregate over zero rows still yields one row.
-		if len(groupOrder) == 0 && len(s.GroupBy) == 0 {
-			grp := &group{}
-			for _, c := range aggCalls {
-				grp.aggs = append(grp.aggs, newAggState(strings.ToLower(c.Name)))
-			}
-			groups[""] = grp
-			groupOrder = append(groupOrder, "")
-		}
-		for _, key := range groupOrder {
-			grp := groups[key]
-			genv := &env{db: db, frames: grp.frames}
-			aggVals := make([]Value, len(aggCalls))
-			for i, a := range grp.aggs {
-				aggVals[i] = a.value()
-			}
-			out := make([]Value, 0, len(columns))
-			for _, item := range s.Exprs {
-				v, err := genv.evalWithAggregates(item.Expr, aggCalls, aggVals)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, v)
-			}
-			res.Rows = append(res.Rows, out)
-			if len(s.OrderBy) > 0 {
-				keys := make([]Value, len(s.OrderBy))
-				for i, oi := range s.OrderBy {
-					v, err := genv.evalWithAggregates(oi.Expr, aggCalls, aggVals)
-					if err != nil {
-						return nil, err
-					}
-					keys[i] = v
-				}
-				sortKeys = append(sortKeys, keys)
-			}
-		}
-	}
-
-	if len(s.OrderBy) > 0 {
-		if err := sortRows(res.Rows, sortKeys, s.OrderBy); err != nil {
-			return nil, err
-		}
-	}
-	if s.Limit >= 0 && len(res.Rows) > s.Limit {
-		res.Rows = res.Rows[:s.Limit]
-	}
-	res.Affected = len(res.Rows)
-	return res, nil
-}
-
 // sortRows stably sorts rows by their precomputed ORDER BY keys. NULLs
 // sort first; unorderable key pairs are an error.
 func sortRows(rows [][]Value, keys [][]Value, items []OrderItem) error {
-	idx := make([]int, len(rows))
-	for i := range idx {
-		idx[i] = i
-	}
-	var sortErr error
-	sort.SliceStable(idx, func(a, b int) bool {
-		if sortErr != nil {
-			return false
-		}
-		ka, kb := keys[idx[a]], keys[idx[b]]
-		for i, oi := range items {
-			va, vb := ka[i], kb[i]
-			if va.IsNull() && vb.IsNull() {
-				continue
-			}
-			if va.IsNull() {
-				return !oi.Desc
-			}
-			if vb.IsNull() {
-				return oi.Desc
-			}
-			if va.Equal(vb) {
-				continue
-			}
-			less, err := va.Less(vb)
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			if oi.Desc {
-				return !less
-			}
-			return less
-		}
-		return false
-	})
-	if sortErr != nil {
-		return sortErr
+	idx, err := sortPermutation(keys, items)
+	if err != nil {
+		return err
 	}
 	orig := append([][]Value(nil), rows...)
 	origKeys := append([][]Value(nil), keys...)
@@ -705,25 +451,11 @@ func resolveColumns(x Expr, tables map[string]*Table) error {
 // references; call after resolveColumns.
 func exprAliases(x Expr) map[string]bool {
 	out := make(map[string]bool)
-	var walk func(Expr)
-	walk = func(x Expr) {
-		switch n := x.(type) {
-		case *ColumnRef:
-			if n.Qualifier != "" {
-				out[strings.ToLower(n.Qualifier)] = true
-			}
-		case *BinaryExpr:
-			walk(n.Left)
-			walk(n.Right)
-		case *UnaryExpr:
-			walk(n.X)
-		case *FuncCall:
-			for _, a := range n.Args {
-				walk(a)
-			}
+	walkExpr(x, func(e Expr) {
+		if n, ok := e.(*ColumnRef); ok && n.Qualifier != "" {
+			out[strings.ToLower(n.Qualifier)] = true
 		}
-	}
-	walk(x)
+	})
 	return out
 }
 

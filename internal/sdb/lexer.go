@@ -33,8 +33,8 @@ var reserved = map[string]bool{
 	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true,
 	"CREATE": true, "TABLE": true, "DELETE": true, "UPDATE": true,
 	"SET": true, "TRUE": true, "FALSE": true, "NULL": true,
-	"GROUP": true, "ORDER": true, "BY": true, "LIMIT": true,
-	"ASC": true, "DESC": true, "EXPLAIN": true,
+	"GROUP": true, "ORDER": true, "BY": true, "LIMIT": true, "OFFSET": true,
+	"ASC": true, "DESC": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 // lex tokenizes a SQL string.
@@ -112,7 +112,7 @@ func lex(input string) ([]token, error) {
 				}
 			}
 			switch c {
-			case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '%', ';', '.':
+			case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '%', ';', '.', '?':
 				toks = append(toks, token{tokSymbol, string(c), start})
 				i++
 			default:

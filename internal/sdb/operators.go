@@ -1,0 +1,892 @@
+package sdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The physical executor: Volcano-style iterators. Each plan node
+// compiles to an operator with open/next/close; rows flow upward one
+// at a time, so nothing above the operator that needs materialization
+// (aggregate, sort) builds a full intermediate result. Every operator
+// carries its own counters — rows in/out, UDF calls, and LFM pages
+// read while evaluating its expressions — which EXPLAIN ANALYZE
+// reports per node.
+
+// opStats are the per-operator runtime counters.
+type opStats struct {
+	rowsIn   int64
+	rowsOut  int64
+	udfCalls int64
+	lfmPages int64
+}
+
+// tuple is the unit of data flow: the bound frames in join order, the
+// computed aggregate values after aggregation, and the projected
+// output row once the root has run.
+type tuple struct {
+	frames  []frame
+	aggVals []Value // parallel to the plan's aggCalls; nil before aggregation
+	out     []Value // set by the projection root
+}
+
+// operator is a Volcano iterator.
+type operator interface {
+	open() error
+	next() (tuple, bool, error)
+	close()
+	describe() string
+	kids() []operator
+	stats() *opStats
+}
+
+// opBase carries the pieces every operator shares and charges
+// expression evaluation to the operator's counters.
+type opBase struct {
+	db     *DB
+	params []Value
+	st     opStats
+	ev     *env
+}
+
+func (b *opBase) stats() *opStats { return &b.st }
+
+func (b *opBase) envFor(frames []frame) *env {
+	if b.ev == nil {
+		b.ev = &env{db: b.db, params: b.params, st: &b.st}
+	}
+	b.ev.frames = frames
+	return b.ev
+}
+
+// evalIn evaluates x against the tuple's frames, attributing UDF calls
+// and LFM page reads to this operator.
+func (b *opBase) evalIn(t tuple, x Expr) (Value, error) {
+	e := b.envFor(t.frames)
+	var before uint64
+	if b.db.lfm != nil {
+		before = b.db.lfm.Stats().PageReads
+	}
+	v, err := e.eval(x)
+	if b.db.lfm != nil {
+		b.st.lfmPages += int64(b.db.lfm.Stats().PageReads - before)
+	}
+	return v, err
+}
+
+// evalAgg is evalIn for post-aggregation tuples: identified aggregate
+// calls are substituted with the tuple's computed values.
+func (b *opBase) evalAgg(t tuple, x Expr, calls []*FuncCall) (Value, error) {
+	if t.aggVals == nil {
+		return b.evalIn(t, x)
+	}
+	e := b.envFor(t.frames)
+	var before uint64
+	if b.db.lfm != nil {
+		before = b.db.lfm.Stats().PageReads
+	}
+	v, err := e.evalWithAggregates(x, calls, t.aggVals)
+	if b.db.lfm != nil {
+		b.st.lfmPages += int64(b.db.lfm.Stats().PageReads - before)
+	}
+	return v, err
+}
+
+// evalPred evaluates a predicate that must produce BOOL.
+func (b *opBase) evalPred(t tuple, x Expr) (bool, error) {
+	v, err := b.evalIn(t, x)
+	if err != nil {
+		return false, err
+	}
+	if v.T != TBool {
+		return false, fmt.Errorf("sdb: WHERE conjunct is %s, not BOOL", v.T)
+	}
+	return v.B, nil
+}
+
+// scanOp reads one table's rows in storage order.
+type scanOp struct {
+	opBase
+	src source
+	i   int
+}
+
+func (o *scanOp) open() error {
+	o.i = 0
+	return nil
+}
+
+func (o *scanOp) next() (tuple, bool, error) {
+	if o.i >= len(o.src.table.Rows) {
+		return tuple{}, false, nil
+	}
+	row := o.src.table.Rows[o.i]
+	o.i++
+	o.st.rowsOut++
+	return tuple{frames: []frame{{alias: o.src.alias, table: o.src.table, row: row}}}, true, nil
+}
+
+func (o *scanOp) close() {}
+
+func (o *scanOp) describe() string {
+	s := "scan " + o.src.table.Name
+	if !strings.EqualFold(o.src.alias, o.src.table.Name) {
+		s += " as " + o.src.alias
+	}
+	return fmt.Sprintf("%s (%d rows)", s, len(o.src.table.Rows))
+}
+
+func (o *scanOp) kids() []operator { return nil }
+
+// filterOp passes rows satisfying all its predicates, in order.
+type filterOp struct {
+	opBase
+	child  operator
+	preds  []Expr
+	pushed bool
+}
+
+func (o *filterOp) open() error { return o.child.open() }
+
+func (o *filterOp) next() (tuple, bool, error) {
+	for {
+		t, ok, err := o.child.next()
+		if err != nil || !ok {
+			return tuple{}, false, err
+		}
+		o.st.rowsIn++
+		pass := true
+		for _, p := range o.preds {
+			hit, err := o.evalPred(t, p)
+			if err != nil {
+				return tuple{}, false, err
+			}
+			if !hit {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			o.st.rowsOut++
+			return t, true, nil
+		}
+	}
+}
+
+func (o *filterOp) close() { o.child.close() }
+
+func (o *filterOp) describe() string {
+	parts := make([]string, len(o.preds))
+	for i, p := range o.preds {
+		parts[i] = exprString(p)
+	}
+	s := "filter " + strings.Join(parts, " and ")
+	if o.pushed {
+		s += " [pushed]"
+	}
+	return s
+}
+
+func (o *filterOp) kids() []operator { return []operator{o.child} }
+
+// hashEntry is one build-side row with its precomputed key values,
+// kept for the exact Equal re-check on probe (the canonical string key
+// can collide without the values being SQL-equal).
+type hashEntry struct {
+	t    tuple
+	keys []Value
+}
+
+// hashJoinOp joins on equality keys: it lazily builds a hash table
+// over the right input, then streams the left input and probes. Rows
+// come out in left-major, right-scan-order — the same order the
+// nested loop would produce.
+type hashJoinOp struct {
+	opBase
+	left, right operator
+	leftKeys    []Expr
+	rightKeys   []Expr
+
+	built      bool
+	table      map[string][]hashEntry
+	cur        tuple
+	curOK      bool
+	curKeyVals []Value
+	bucket     []hashEntry
+	bi         int
+}
+
+func (o *hashJoinOp) open() error {
+	if err := o.left.open(); err != nil {
+		return err
+	}
+	if err := o.right.open(); err != nil {
+		return err
+	}
+	o.built, o.table = false, nil
+	o.curOK, o.bucket, o.bi = false, nil, 0
+	return nil
+}
+
+// build drains the right input into the hash table. Deferred until the
+// first left row arrives so an empty left side never evaluates right
+// key expressions — matching the nested-loop evaluation order.
+func (o *hashJoinOp) build() error {
+	o.table = make(map[string][]hashEntry)
+	for {
+		t, ok, err := o.right.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			o.built = true
+			return nil
+		}
+		o.st.rowsIn++
+		keys := make([]Value, len(o.rightKeys))
+		null := false
+		for i, kx := range o.rightKeys {
+			v, err := o.evalIn(t, kx)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				null = true // NULL never equals anything; unreachable row
+				break
+			}
+			keys[i] = v
+		}
+		if null {
+			continue
+		}
+		hk := hashKey(keys)
+		o.table[hk] = append(o.table[hk], hashEntry{t: t, keys: keys})
+	}
+}
+
+func (o *hashJoinOp) next() (tuple, bool, error) {
+	for {
+		if o.curOK {
+			for o.bi < len(o.bucket) {
+				ent := o.bucket[o.bi]
+				o.bi++
+				// Re-check with SQL equality: the string key is only a
+				// bucketing heuristic.
+				match := true
+				for i, lv := range o.curKeyVals {
+					if !lv.Equal(ent.keys[i]) {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				frames := make([]frame, 0, len(o.cur.frames)+len(ent.t.frames))
+				frames = append(frames, o.cur.frames...)
+				frames = append(frames, ent.t.frames...)
+				o.st.rowsOut++
+				return tuple{frames: frames}, true, nil
+			}
+			o.curOK = false
+		}
+		t, ok, err := o.left.next()
+		if err != nil || !ok {
+			return tuple{}, false, err
+		}
+		o.st.rowsIn++
+		if !o.built {
+			if err := o.build(); err != nil {
+				return tuple{}, false, err
+			}
+		}
+		keys := make([]Value, len(o.leftKeys))
+		null := false
+		for i, kx := range o.leftKeys {
+			v, err := o.evalIn(t, kx)
+			if err != nil {
+				return tuple{}, false, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			keys[i] = v
+		}
+		if null {
+			continue
+		}
+		o.cur, o.curOK = t, true
+		o.curKeyVals = keys
+		o.bucket = o.table[hashKey(keys)]
+		o.bi = 0
+	}
+}
+
+func (o *hashJoinOp) close() {
+	o.left.close()
+	o.right.close()
+	o.table = nil
+}
+
+func (o *hashJoinOp) describe() string {
+	parts := make([]string, len(o.leftKeys))
+	for i := range o.leftKeys {
+		parts[i] = exprString(o.leftKeys[i]) + " = " + exprString(o.rightKeys[i])
+	}
+	return "hash join on " + strings.Join(parts, ", ")
+}
+
+func (o *hashJoinOp) kids() []operator { return []operator{o.left, o.right} }
+
+// hashKey canonicalizes key values into a bucket string consistent
+// with Value.Equal: ints and floats that compare equal share a key.
+// Fields are length-prefixed so adjacent keys cannot bleed together.
+func hashKey(vals []Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		var tag byte
+		var s string
+		switch v.T {
+		case TInt:
+			tag, s = 'n', strconv.FormatFloat(float64(v.I), 'g', -1, 64)
+		case TFloat:
+			tag, s = 'n', strconv.FormatFloat(v.F, 'g', -1, 64)
+		case TString:
+			tag, s = 's', v.S
+		case TBool:
+			tag, s = 'b', "f"
+			if v.B {
+				s = "t"
+			}
+		case TBytes:
+			tag, s = 'y', string(v.Y)
+		case TLong:
+			tag, s = 'l', strconv.FormatUint(uint64(v.L), 10)
+		default:
+			tag, s = '?', v.String()
+		}
+		sb.WriteByte(tag)
+		sb.WriteString(strconv.Itoa(len(s)))
+		sb.WriteByte(':')
+		sb.WriteString(s)
+	}
+	return sb.String()
+}
+
+// nlJoinOp is the nested-loop fallback for joins with no usable
+// equality key. The right side is materialized lazily on the first
+// left row and re-scanned per left row.
+type nlJoinOp struct {
+	opBase
+	left, right operator
+
+	rightRows   []tuple
+	rightLoaded bool
+	cur         tuple
+	curOK       bool
+	ri          int
+}
+
+func (o *nlJoinOp) open() error {
+	if err := o.left.open(); err != nil {
+		return err
+	}
+	if err := o.right.open(); err != nil {
+		return err
+	}
+	o.rightRows, o.rightLoaded = nil, false
+	o.curOK, o.ri = false, 0
+	return nil
+}
+
+func (o *nlJoinOp) loadRight() error {
+	for {
+		t, ok, err := o.right.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			o.rightLoaded = true
+			return nil
+		}
+		o.st.rowsIn++
+		o.rightRows = append(o.rightRows, t)
+	}
+}
+
+func (o *nlJoinOp) next() (tuple, bool, error) {
+	for {
+		if o.curOK && o.ri < len(o.rightRows) {
+			rt := o.rightRows[o.ri]
+			o.ri++
+			frames := make([]frame, 0, len(o.cur.frames)+len(rt.frames))
+			frames = append(frames, o.cur.frames...)
+			frames = append(frames, rt.frames...)
+			o.st.rowsOut++
+			return tuple{frames: frames}, true, nil
+		}
+		o.curOK = false
+		t, ok, err := o.left.next()
+		if err != nil || !ok {
+			return tuple{}, false, err
+		}
+		o.st.rowsIn++
+		if !o.rightLoaded {
+			if err := o.loadRight(); err != nil {
+				return tuple{}, false, err
+			}
+		}
+		o.cur, o.curOK, o.ri = t, true, 0
+	}
+}
+
+func (o *nlJoinOp) close() {
+	o.left.close()
+	o.right.close()
+	o.rightRows = nil
+}
+
+func (o *nlJoinOp) describe() string { return "nested loop join" }
+
+func (o *nlJoinOp) kids() []operator { return []operator{o.left, o.right} }
+
+// aggOp groups its input and folds the plan's aggregate calls, exactly
+// reproducing the permissive GROUP BY semantics of the old executor:
+// non-aggregated expressions later evaluate against the first row of
+// each group, and a grand aggregate over zero rows still emits one row.
+type aggOp struct {
+	opBase
+	child    operator
+	groupBy  []Expr
+	aggCalls []*FuncCall
+
+	done    bool
+	results []tuple
+	i       int
+}
+
+func (o *aggOp) open() error {
+	o.done, o.results, o.i = false, nil, 0
+	return o.child.open()
+}
+
+func (o *aggOp) drain() error {
+	groups := make(map[string]*group)
+	var groupOrder []string
+	for {
+		t, ok, err := o.child.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		o.st.rowsIn++
+		keyVals := make([]Value, len(o.groupBy))
+		for i, g := range o.groupBy {
+			v, err := o.evalIn(t, g)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+		}
+		key := groupKey(keyVals)
+		grp, ok2 := groups[key]
+		if !ok2 {
+			grp = &group{frames: append([]frame(nil), t.frames...)}
+			for _, c := range o.aggCalls {
+				grp.aggs = append(grp.aggs, newAggState(strings.ToLower(c.Name)))
+			}
+			groups[key] = grp
+			groupOrder = append(groupOrder, key)
+		}
+		for i, c := range o.aggCalls {
+			if _, star := c.Args[0].(*StarExpr); star {
+				if err := grp.aggs[i].update(Value{}, true); err != nil {
+					return err
+				}
+				continue
+			}
+			v, err := o.evalIn(t, c.Args[0])
+			if err != nil {
+				return err
+			}
+			if err := grp.aggs[i].update(v, false); err != nil {
+				return err
+			}
+		}
+	}
+	// A grand aggregate over zero rows still yields one row.
+	if len(groupOrder) == 0 && len(o.groupBy) == 0 {
+		grp := &group{}
+		for _, c := range o.aggCalls {
+			grp.aggs = append(grp.aggs, newAggState(strings.ToLower(c.Name)))
+		}
+		groups[""] = grp
+		groupOrder = append(groupOrder, "")
+	}
+	for _, key := range groupOrder {
+		grp := groups[key]
+		aggVals := make([]Value, len(grp.aggs))
+		for i, a := range grp.aggs {
+			aggVals[i] = a.value()
+		}
+		o.results = append(o.results, tuple{frames: grp.frames, aggVals: aggVals})
+	}
+	return nil
+}
+
+func (o *aggOp) next() (tuple, bool, error) {
+	if !o.done {
+		if err := o.drain(); err != nil {
+			return tuple{}, false, err
+		}
+		o.done = true
+	}
+	if o.i >= len(o.results) {
+		return tuple{}, false, nil
+	}
+	t := o.results[o.i]
+	o.i++
+	o.st.rowsOut++
+	return t, true, nil
+}
+
+func (o *aggOp) close() {
+	o.child.close()
+	o.results = nil
+}
+
+func (o *aggOp) describe() string {
+	calls := make([]string, len(o.aggCalls))
+	for i, c := range o.aggCalls {
+		calls[i] = exprString(c)
+	}
+	var s string
+	if len(o.groupBy) > 0 {
+		keys := make([]string, len(o.groupBy))
+		for i, g := range o.groupBy {
+			keys[i] = exprString(g)
+		}
+		s = "aggregate group by " + strings.Join(keys, ", ")
+	} else {
+		s = "aggregate single group"
+	}
+	if len(calls) > 0 {
+		s += " [" + strings.Join(calls, ", ") + "]"
+	}
+	return s
+}
+
+func (o *aggOp) kids() []operator { return []operator{o.child} }
+
+// sortOp materializes its input and emits it stably sorted by the
+// ORDER BY keys (NULLs first, as elsewhere in the engine).
+type sortOp struct {
+	opBase
+	child    operator
+	items    []OrderItem
+	aggCalls []*FuncCall
+
+	done bool
+	rows []tuple
+	i    int
+}
+
+func (o *sortOp) open() error {
+	o.done, o.rows, o.i = false, nil, 0
+	return o.child.open()
+}
+
+func (o *sortOp) drain() error {
+	var keys [][]Value
+	for {
+		t, ok, err := o.child.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		o.st.rowsIn++
+		ks := make([]Value, len(o.items))
+		for i, oi := range o.items {
+			v, err := o.evalAgg(t, oi.Expr, o.aggCalls)
+			if err != nil {
+				return err
+			}
+			ks[i] = v
+		}
+		o.rows = append(o.rows, t)
+		keys = append(keys, ks)
+	}
+	perm, err := sortPermutation(keys, o.items)
+	if err != nil {
+		return err
+	}
+	sorted := make([]tuple, len(o.rows))
+	for i, j := range perm {
+		sorted[i] = o.rows[j]
+	}
+	o.rows = sorted
+	return nil
+}
+
+func (o *sortOp) next() (tuple, bool, error) {
+	if !o.done {
+		if err := o.drain(); err != nil {
+			return tuple{}, false, err
+		}
+		o.done = true
+	}
+	if o.i >= len(o.rows) {
+		return tuple{}, false, nil
+	}
+	t := o.rows[o.i]
+	o.i++
+	o.st.rowsOut++
+	return t, true, nil
+}
+
+func (o *sortOp) close() {
+	o.child.close()
+	o.rows = nil
+}
+
+func (o *sortOp) describe() string {
+	parts := make([]string, len(o.items))
+	for i, oi := range o.items {
+		dir := "asc"
+		if oi.Desc {
+			dir = "desc"
+		}
+		parts[i] = exprString(oi.Expr) + " " + dir
+	}
+	return "sort " + strings.Join(parts, ", ")
+}
+
+func (o *sortOp) kids() []operator { return []operator{o.child} }
+
+// sortPermutation returns the stable ordering of row indices by their
+// precomputed ORDER BY keys. NULLs sort first; unorderable key pairs
+// are an error.
+func sortPermutation(keys [][]Value, items []OrderItem) ([]int, error) {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		if sortErr != nil {
+			return false
+		}
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i, oi := range items {
+			va, vb := ka[i], kb[i]
+			if va.IsNull() && vb.IsNull() {
+				continue
+			}
+			if va.IsNull() {
+				return !oi.Desc
+			}
+			if vb.IsNull() {
+				return oi.Desc
+			}
+			if va.Equal(vb) {
+				continue
+			}
+			less, err := va.Less(vb)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if oi.Desc {
+				return !less
+			}
+			return less
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	return idx, nil
+}
+
+// limitOp skips Offset rows and stops after Limit rows (-1 = no cap),
+// telling upstream operators to stop producing early.
+type limitOp struct {
+	opBase
+	child   operator
+	limit   int
+	offset  int
+	skipped int
+	emitted int
+}
+
+func (o *limitOp) open() error {
+	o.skipped, o.emitted = 0, 0
+	return o.child.open()
+}
+
+func (o *limitOp) next() (tuple, bool, error) {
+	if o.limit >= 0 && o.emitted >= o.limit {
+		return tuple{}, false, nil
+	}
+	for {
+		t, ok, err := o.child.next()
+		if err != nil || !ok {
+			return tuple{}, false, err
+		}
+		o.st.rowsIn++
+		if o.skipped < o.offset {
+			o.skipped++
+			continue
+		}
+		o.emitted++
+		o.st.rowsOut++
+		return t, true, nil
+	}
+}
+
+func (o *limitOp) close() { o.child.close() }
+
+func (o *limitOp) describe() string {
+	var parts []string
+	if o.limit >= 0 {
+		parts = append(parts, fmt.Sprintf("limit %d", o.limit))
+	}
+	if o.offset > 0 {
+		parts = append(parts, fmt.Sprintf("offset %d", o.offset))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (o *limitOp) kids() []operator { return []operator{o.child} }
+
+// projectOp is the pipeline root: it evaluates the select list into
+// the output row. Because it sits above sort and limit, expensive
+// projection expressions (EXTRACT_DATA and friends) run only for rows
+// that survive every filter and the limit.
+type projectOp struct {
+	opBase
+	child    operator
+	items    []SelectItem
+	aggCalls []*FuncCall
+	columns  []string
+}
+
+func (o *projectOp) open() error { return o.child.open() }
+
+func (o *projectOp) next() (tuple, bool, error) {
+	t, ok, err := o.child.next()
+	if err != nil || !ok {
+		return tuple{}, false, err
+	}
+	o.st.rowsIn++
+	out := make([]Value, 0, len(o.columns))
+	for _, item := range o.items {
+		if item.Star {
+			for _, f := range t.frames {
+				out = append(out, f.row...)
+			}
+			continue
+		}
+		v, err := o.evalAgg(t, item.Expr, o.aggCalls)
+		if err != nil {
+			return tuple{}, false, err
+		}
+		out = append(out, v)
+	}
+	t.out = out
+	o.st.rowsOut++
+	return t, true, nil
+}
+
+func (o *projectOp) close() { o.child.close() }
+
+func (o *projectOp) describe() string {
+	// Render the full select-list expressions, not the column labels: a
+	// label compresses extractVoxels(wv.data, ib.region) to its bare
+	// function name, and the plan reader needs to see what the
+	// projection actually evaluates.
+	parts := make([]string, len(o.items))
+	for i, item := range o.items {
+		if item.Star {
+			parts[i] = "*"
+		} else {
+			parts[i] = exprString(item.Expr)
+		}
+	}
+	return "project [" + strings.Join(parts, ", ") + "]"
+}
+
+func (o *projectOp) kids() []operator { return []operator{o.child} }
+
+// buildPipeline compiles a logical plan into its operator tree.
+func (db *DB) buildPipeline(plan *selectPlan, params []Value) (*projectOp, error) {
+	var build func(n planNode) operator
+	build = func(n planNode) operator {
+		switch pn := n.(type) {
+		case *scanNode:
+			return &scanOp{opBase: opBase{db: db, params: params}, src: pn.src}
+		case *filterNode:
+			return &filterOp{
+				opBase: opBase{db: db, params: params},
+				child:  build(pn.child),
+				preds:  pn.preds,
+				pushed: pn.pushed,
+			}
+		case *joinNode:
+			left, right := build(pn.left), build(pn.right)
+			if len(pn.leftKeys) > 0 {
+				return &hashJoinOp{
+					opBase:    opBase{db: db, params: params},
+					left:      left,
+					right:     right,
+					leftKeys:  pn.leftKeys,
+					rightKeys: pn.rightKeys,
+				}
+			}
+			return &nlJoinOp{opBase: opBase{db: db, params: params}, left: left, right: right}
+		default:
+			panic(fmt.Sprintf("sdb: unknown plan node %T", n))
+		}
+	}
+	root := build(plan.tree)
+	s := plan.stmt
+	if plan.aggregated {
+		root = &aggOp{
+			opBase:   opBase{db: db, params: params},
+			child:    root,
+			groupBy:  s.GroupBy,
+			aggCalls: plan.aggCalls,
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		root = &sortOp{
+			opBase:   opBase{db: db, params: params},
+			child:    root,
+			items:    s.OrderBy,
+			aggCalls: plan.aggCalls,
+		}
+	}
+	if s.Limit >= 0 || s.Offset > 0 {
+		root = &limitOp{
+			opBase: opBase{db: db, params: params},
+			child:  root,
+			limit:  s.Limit,
+			offset: s.Offset,
+		}
+	}
+	return &projectOp{
+		opBase:   opBase{db: db, params: params},
+		child:    root,
+		items:    s.Exprs,
+		aggCalls: plan.aggCalls,
+		columns:  plan.columns,
+	}, nil
+}

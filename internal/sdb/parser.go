@@ -26,8 +26,9 @@ func Parse(input string) (Statement, error) {
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks    []token
+	pos     int
+	nparams int // count of "?" placeholders seen, in parse order
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -87,11 +88,12 @@ func (p *parser) errorf(format string, args ...interface{}) error {
 func (p *parser) parseStatement() (Statement, error) {
 	switch {
 	case p.accept(tokKeyword, "EXPLAIN"):
+		analyze := p.accept(tokKeyword, "ANALYZE")
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Stmt: inner}, nil
+		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	case p.accept(tokKeyword, "SELECT"):
 		return p.parseSelect()
 	case p.accept(tokKeyword, "INSERT"):
@@ -194,6 +196,17 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			return nil, p.errorf("bad LIMIT %q", num.text)
 		}
 		s.Limit = n
+	}
+	if p.accept(tokKeyword, "OFFSET") {
+		num, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(num.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad OFFSET %q", num.text)
+		}
+		s.Offset = n
 	}
 	return s, nil
 }
@@ -514,6 +527,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case t.kind == tokKeyword && t.text == "NULL":
 		p.next()
 		return &Literal{Val: Null()}, nil
+	case t.kind == tokSymbol && t.text == "?":
+		p.next()
+		ph := &Placeholder{Idx: p.nparams}
+		p.nparams++
+		return ph, nil
 	case t.kind == tokSymbol && t.text == "(":
 		p.next()
 		e, err := p.parseExpr()

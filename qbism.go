@@ -426,14 +426,29 @@ type (
 	DB = sdb.DB
 	// SQLValue is a dynamically typed SQL value.
 	SQLValue = sdb.Value
-	// SQLResult is a statement result.
+	// SQLResult is a materialized statement result.
 	SQLResult = sdb.Result
+	// SQLRows is a streaming row iterator from DB.Query.
+	SQLRows = sdb.Rows
 	// UDF is a user-defined SQL function.
 	UDF = sdb.UDF
 	// LongFieldManager stores large objects on a page-accounted device.
 	LongFieldManager = lfm.Manager
 	// LFMStats counts long-field I/O traffic.
 	LFMStats = lfm.Stats
+)
+
+// SQL value constructors, for bind parameters (DB.Exec / DB.Query take
+// trailing SQLValue arguments matching `?` placeholders) and ad-hoc
+// row construction.
+var (
+	SQLInt   = sdb.Int
+	SQLFloat = sdb.Float
+	SQLStr   = sdb.Str
+	SQLBool  = sdb.Bool
+	SQLBytes = sdb.Bytes
+	SQLLong  = sdb.Long
+	SQLNull  = sdb.Null
 )
 
 // NewDB creates an empty database over a long field manager.
