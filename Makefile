@@ -1,14 +1,20 @@
 # Pre-merge check: vet, build, the full test suite under the race
 # detector (the chaos, netsim, and planner-equivalence concurrency
-# tests are required to be race-clean), and a one-iteration perfbench
-# smoke run. Run `make check` before merging; `make bench` regenerates
-# BENCH_PR3.json.
+# tests are required to be race-clean), per-package coverage floors,
+# and a one-iteration perfbench smoke run. Run `make check` before
+# merging; `make bench` regenerates BENCH_PR4.json.
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke
+# Packages with an enforced coverage floor, and the floor itself. These
+# are the layers the observability work leans on hardest; keep them
+# honest.
+COVER_PKGS ?= ./internal/obs ./internal/lfm ./internal/sdb
+COVER_FLOOR ?= 70.0
 
-check: vet build race bench-smoke
+.PHONY: check vet build test race cover bench bench-smoke
+
+check: vet build race cover bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,13 +28,30 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Per-package coverage with a hard floor: any listed package under
+# $(COVER_FLOOR)% statement coverage fails the build.
+cover:
+	@fail=0; \
+	for pkg in $(COVER_PKGS); do \
+		line=$$($(GO) test -cover $$pkg | tail -1); \
+		pct=$$(echo "$$line" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage line for $$pkg: $$line"; fail=1; continue; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { print (p+0 >= f+0) ? 1 : 0 }'); \
+		if [ "$$ok" = "1" ]; then \
+			echo "cover: $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
+		else \
+			echo "cover: FAIL $$pkg $$pct% is below the $(COVER_FLOOR)% floor"; fail=1; \
+		fi; \
+	done; \
+	exit $$fail
+
 # Full performance sweep: the Go micro-benchmarks, then the end-to-end
-# perfbench run that writes BENCH_PR3.json (pages read, cache hit rate,
-# ns/op, serial-vs-parallel speedup on both clocks, and the planner's
-# pushdown-on/off page A/B).
+# perfbench run that writes BENCH_PR4.json (pages read, cache hit rate,
+# ns/op, serial-vs-parallel speedup on both clocks, the planner's
+# pushdown-on/off page A/B, and the tracing overhead A/B).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .  ./internal/sfc
-	$(GO) run ./cmd/perfbench -out BENCH_PR3.json
+	$(GO) run ./cmd/perfbench -out BENCH_PR4.json
 
 # One tiny iteration through every perfbench measurement — catches read
 # path regressions in CI without the full run's cost.

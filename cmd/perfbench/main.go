@@ -1,7 +1,8 @@
 // Command perfbench measures the read path and the SQL planner end to
 // end — run pruning, gap coalescing, the LFM page cache, the parallel
-// multi-study executor, and predicate pushdown A/B — and writes a
-// machine-readable summary to BENCH_PR3.json.
+// multi-study executor, predicate pushdown A/B, and the observability
+// layer's overhead — and writes a machine-readable summary to
+// BENCH_PR4.json.
 //
 // Two clocks appear in the output. Wall-clock nanoseconds depend on the
 // host (its CPU count is recorded under "host" so the parallel numbers
@@ -12,7 +13,7 @@
 // change from host to host. The planner A/B likewise compares LFM page
 // counts, which are exact and host-independent.
 //
-//	perfbench                     # full run, writes BENCH_PR3.json
+//	perfbench                     # full run, writes BENCH_PR4.json
 //	perfbench -smoke -out /tmp/b.json   # one tiny iteration (CI smoke)
 package main
 
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -102,6 +104,17 @@ type plannerReport struct {
 	Explain          []string `json:"explain"`
 }
 
+type obsReport struct {
+	Queries        int     `json:"suite_queries"`
+	UntracedNsOp   int64   `json:"untraced_ns_op"`
+	TracedNsOp     int64   `json:"traced_ns_op"`
+	OverheadPct    float64 `json:"tracing_overhead_pct"`
+	SpanPages      uint64  `json:"span_tree_pages"`
+	StatsPages     uint64  `json:"lfm_stats_pages"`
+	SpanPagesExact bool    `json:"span_pages_exact"`
+	SpansPerQuery  float64 `json:"spans_per_query"`
+}
+
 type report struct {
 	Host     hostInfo       `json:"host"`
 	Config   benchConfig    `json:"config"`
@@ -110,10 +123,11 @@ type report struct {
 	Cache    cacheReport    `json:"cache"`
 	Parallel parallelReport `json:"parallel"`
 	Planner  plannerReport  `json:"planner"`
+	Obs      obsReport      `json:"observability"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "write the JSON report here")
+	out := flag.String("out", "BENCH_PR4.json", "write the JSON report here")
 	smoke := flag.Bool("smoke", false, "tiny single-iteration run (CI smoke test)")
 	bits := flag.Int("bits", 6, "atlas grid bits per axis")
 	pets := flag.Int("pets", 5, "number of PET studies")
@@ -147,6 +161,7 @@ func main() {
 	rep.Cache = measureCache(cfg, *cachePages, *iters)
 	rep.Parallel = measureParallel(sys, *workers)
 	rep.Planner = measurePlanner(sys, *iters)
+	rep.Obs = measureObs(cfg, *iters)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -172,6 +187,9 @@ func main() {
 	fmt.Printf("planner: pushdown %d pages vs %d without (%.1fx fewer), identical=%v\n",
 		rep.Planner.PushdownPages, rep.Planner.NoPushdownPages,
 		rep.Planner.PagesSavedFactor, rep.Planner.Identical)
+	fmt.Printf("observability: %s/op untraced vs %s/op traced (%.1f%% overhead), span pages exact=%v\n",
+		time.Duration(rep.Obs.UntracedNsOp), time.Duration(rep.Obs.TracedNsOp),
+		rep.Obs.OverheadPct, rep.Obs.SpanPagesExact)
 	fmt.Printf("wrote %s\n", *out)
 }
 
@@ -406,6 +424,86 @@ func measurePlanner(sys *qbism.System, iters int) plannerReport {
 		r.Explain = append(r.Explain, row[0].S)
 	}
 	return r
+}
+
+// measureObs prices the observability layer: the Table 3 suite runs on
+// two twin systems, one untraced and one with full span collection, and
+// the ns/op gap is the tracing tax. On the traced twin it also checks
+// the accounting invariant the spans promise: the "pages" counters
+// summed over every query's span tree equal the LFM's own PageReads
+// delta exactly — the trace is the I/O ledger, not an approximation.
+func measureObs(cfg qbism.Config, iters int) obsReport {
+	base, err := qbism.NewSystem(cfg)
+	if err != nil {
+		fail("load untraced twin: %v", err)
+	}
+	cfg.Trace = true
+	traced, err := qbism.NewSystem(cfg)
+	if err != nil {
+		fail("load traced twin: %v", err)
+	}
+	specs := base.Table3Queries()
+	pass := func(sys *qbism.System) int64 {
+		start := time.Now()
+		for _, spec := range specs {
+			if _, err := sys.RunQuery(spec); err != nil {
+				fail("%v: %v", spec, err)
+			}
+		}
+		return time.Since(start).Nanoseconds() / int64(len(specs))
+	}
+	pass(base) // warm-up both twins
+	pass(traced)
+
+	// Interleave traced and untraced passes in adjacent pairs and take
+	// the median of the per-pair ratios: host throughput drifts on a
+	// timescale of seconds, so timing one full phase after the other
+	// lets that drift masquerade as tracing overhead. Adjacent passes
+	// share host conditions, and the median rejects the stragglers.
+	reps := iters
+	if reps < 5 {
+		reps = 5
+	}
+	r := obsReport{Queries: len(specs)}
+	us := make([]int64, 0, reps)
+	ts := make([]int64, 0, reps)
+	ratios := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		u := pass(base)
+		tr := pass(traced)
+		us = append(us, u)
+		ts = append(ts, tr)
+		ratios = append(ratios, float64(tr)/float64(u))
+	}
+	r.UntracedNsOp = medianInt64(us)
+	r.TracedNsOp = medianInt64(ts)
+	r.OverheadPct = 100 * (medianFloat(ratios) - 1)
+	before := traced.LFM.Stats().PageReads
+	var spans int
+	for _, spec := range specs {
+		res, err := traced.RunQuery(spec)
+		if err != nil {
+			fail("%v: %v", spec, err)
+		}
+		r.SpanPages += uint64(res.Trace.SumInt("pages"))
+		spans += res.Trace.Count()
+	}
+	r.StatsPages = traced.LFM.Stats().PageReads - before
+	r.SpanPagesExact = r.SpanPages == r.StatsPages
+	r.SpansPerQuery = float64(spans) / float64(len(specs))
+	return r
+}
+
+func medianInt64(v []int64) int64 {
+	s := append([]int64(nil), v...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+func medianFloat(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 func ratio(a, b int64) float64 {

@@ -61,6 +61,10 @@ func main() {
 	gapPages := flag.Uint64("gappages", 0, "coalesce extraction reads across page gaps up to this wide (0 = exact runs)")
 	workers := flag.Int("workers", 0, "worker pool size for multi-study plans (0/1 = serial)")
 	noPushdown := flag.Bool("nopushdown", false, "disable SQL predicate pushdown and hash joins (A/B baseline)")
+
+	trace := flag.Bool("trace", false, "trace the query and print its span tree")
+	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus text format) on exit")
+	slowlog := flag.Duration("slowlog", 0, "capture queries at least this slow into the slow-query log (implies -trace)")
 	flag.Parse()
 
 	cfg := qbism.Config{
@@ -68,6 +72,8 @@ func main() {
 		Checksums: *checksums,
 		CachePages: *cachePages, ReadGapPages: *gapPages, Workers: *workers,
 		DisablePushdown: *noPushdown,
+		Trace:            *trace || *slowlog > 0,
+		SlowLogThreshold: *slowlog,
 	}
 	if *drop+*timeout+*corrupt+*tamper+*latency > 0 {
 		cfg.LinkFaults = &qbism.FaultPolicy{
@@ -191,6 +197,26 @@ func main() {
 	if ls := sys.Link.Stats(); ls.Drops+ls.Timeouts+ls.Corruptions+ls.Tampers+ls.Latencies > 0 {
 		fmt.Printf("link faults: %d drops, %d timeouts, %d corruptions, %d tampers, %d latency hits\n",
 			ls.Drops, ls.Timeouts, ls.Corruptions, ls.Tampers, ls.Latencies)
+	}
+
+	if *trace || *slowlog > 0 {
+		fmt.Println("\ntrace:")
+		fmt.Print(res.Trace.RenderString())
+	}
+	if *slowlog > 0 {
+		entries := sys.SlowLog.Entries()
+		fmt.Printf("\nslow-query log (threshold %v): %d of %d captured\n",
+			*slowlog, len(entries), sys.SlowLog.Total())
+		for _, e := range entries {
+			fmt.Printf("-- %s (%v)\n", e.Label, e.Total)
+			for _, line := range e.Explain {
+				fmt.Println("   " + line)
+			}
+		}
+	}
+	if *metrics {
+		fmt.Println("\nmetrics:")
+		sys.Metrics.WriteProm(os.Stdout)
 	}
 
 	if *out != "" {

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"qbism/internal/faultsim"
+	"qbism/internal/obs"
 )
 
 // DefaultPageSize is the paper's 4 KB I/O unit.
@@ -124,6 +125,31 @@ type Manager struct {
 	// cache, when non-nil, is the CLOCK page cache; reads consult it
 	// page by page and only misses touch the device.
 	cache *pageCache
+
+	// traceSpan, when non-nil, receives per-handle I/O spans: each
+	// (handle, operation) pair gets one aggregate child span whose
+	// counters accumulate across operations (see SetSpan).
+	traceSpan *obs.Span
+	traceOps  map[traceKey]*opAgg
+}
+
+// traceKey identifies one aggregate trace span: per handle, per
+// operation kind.
+type traceKey struct {
+	h  Handle
+	op string
+}
+
+// opAgg accumulates one (handle, operation) pair's I/O counters between
+// span attach and detach. The span itself is only touched twice — Child
+// at the first op, attribute flush + End at detach — so the per-op cost
+// under tracing stays at a map lookup and a few integer adds.
+type opAgg struct {
+	sp        *obs.Span
+	d         Stats
+	ops       int64
+	errors    int64
+	lastError string
 }
 
 // New creates a manager over a simulated device of the given capacity in
@@ -350,11 +376,117 @@ func (m *Manager) freeBlock(off uint64, order int) {
 	m.freeLists[order] = append(m.freeLists[order], off)
 }
 
+// SetSpan attaches (or with nil, detaches) the span LFM I/O is traced
+// under. While attached, every read and write contributes to an
+// aggregate child span per (handle, operation) — "per-handle read/
+// write spans" — carrying the operation count, pages transferred,
+// bytes, cache hit/miss split, injected faults, and checksum failures
+// as integer attributes. Aggregation keeps tracing overhead to a map
+// lookup and a few attribute bumps per I/O instead of a span
+// allocation per read.
+//
+// The manager serializes I/O under its mutex, so attribution is exact
+// while one query runs at a time (the measured protocol). Concurrent
+// queries sharing one span interleave their I/O into the same
+// aggregates; callers that need exact per-query trees must serialize
+// traced execution (qbism.System does).
+func (m *Manager) SetSpan(sp *obs.Span) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sp == m.traceSpan {
+		return
+	}
+	m.flushTraceLocked()
+	m.traceSpan = sp
+	if sp != nil {
+		m.traceOps = make(map[traceKey]*opAgg)
+	}
+}
+
+// flushTraceLocked materializes the per-(handle, op) aggregates into
+// their spans and ends them. Callers must hold m.mu.
+func (m *Manager) flushTraceLocked() {
+	for _, a := range m.traceOps {
+		sp := a.sp
+		sp.SetInt("ops", a.ops)
+		sp.SetInt("pages", int64(a.d.PageReads))
+		if a.d.PageWrites > 0 {
+			sp.SetInt("pageWrites", int64(a.d.PageWrites))
+		}
+		if a.d.BytesRead > 0 {
+			sp.SetInt("bytes", int64(a.d.BytesRead))
+		}
+		if a.d.BytesWritten > 0 {
+			sp.SetInt("bytesWritten", int64(a.d.BytesWritten))
+		}
+		if a.d.CacheHits > 0 {
+			sp.SetInt("cacheHits", int64(a.d.CacheHits))
+		}
+		if a.d.CacheMisses > 0 {
+			sp.SetInt("cacheMisses", int64(a.d.CacheMisses))
+		}
+		if a.d.FaultsInjected > 0 {
+			sp.SetInt("faults", int64(a.d.FaultsInjected))
+		}
+		if a.d.ChecksumFailures > 0 {
+			sp.SetInt("checksumFailures", int64(a.d.ChecksumFailures))
+		}
+		if a.errors > 0 {
+			sp.SetInt("errors", a.errors)
+			sp.SetStr("lastError", a.lastError)
+		}
+		sp.End()
+	}
+	m.traceOps = nil
+}
+
+// traceOp records one completed I/O operation against the attached
+// span as the stats delta it produced. Callers must hold m.mu and
+// snapshot m.stats before the operation.
+func (m *Manager) traceOp(op string, h Handle, before Stats, err error) {
+	if m.traceSpan == nil {
+		return
+	}
+	key := traceKey{h: h, op: op}
+	a := m.traceOps[key]
+	if a == nil {
+		sp := m.traceSpan.Child("lfm." + op)
+		sp.SetInt("handle", int64(h))
+		a = &opAgg{sp: sp}
+		m.traceOps[key] = a
+	}
+	// Accumulate locally — plain field adds, no span locking — and
+	// materialize once at detach (flushTraceLocked). Run-pruned
+	// extraction issues thousands of ReadAt ops per query; per-op span
+	// updates are what would blow the <5% tracing budget.
+	d := m.stats.Sub(before)
+	a.ops++
+	a.d.PageReads += d.PageReads
+	a.d.PageWrites += d.PageWrites
+	a.d.BytesRead += d.BytesRead
+	a.d.BytesWritten += d.BytesWritten
+	a.d.CacheHits += d.CacheHits
+	a.d.CacheMisses += d.CacheMisses
+	a.d.FaultsInjected += d.FaultsInjected
+	a.d.ChecksumFailures += d.ChecksumFailures
+	if err != nil {
+		a.errors++
+		a.lastError = err.Error()
+	}
+}
+
 // Allocate stores data as a new long field and returns its handle.
 // The write is counted page-granularly.
 func (m *Manager) Allocate(data []byte) (Handle, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	before := m.stats
+	h, err := m.allocate(data)
+	m.traceOp("write", h, before, err)
+	return h, err
+}
+
+func (m *Manager) allocate(data []byte) (Handle, error) {
 	order := m.orderFor(uint64(len(data)))
 	if order > m.maxOrder {
 		return 0, ErrNoSpace
@@ -385,6 +517,13 @@ func (m *Manager) Allocate(data []byte) (Handle, error) {
 func (m *Manager) Overwrite(h Handle, data []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	before := m.stats
+	err := m.overwrite(h, data)
+	m.traceOp("write", h, before, err)
+	return err
+}
+
+func (m *Manager) overwrite(h Handle, data []byte) error {
 	f, ok := m.fields[h]
 	if !ok {
 		return ErrUnknownHandle
@@ -444,7 +583,10 @@ func (m *Manager) Read(h Handle) ([]byte, error) {
 	if !ok {
 		return nil, ErrUnknownHandle
 	}
-	return m.readRange(h, f, 0, f.size)
+	before := m.stats
+	out, err := m.readRange(h, f, 0, f.size)
+	m.traceOp("read", h, before, err)
+	return out, err
 }
 
 // ReadAt returns n bytes starting at logical offset off within the field
@@ -461,7 +603,10 @@ func (m *Manager) ReadAt(h Handle, off, n uint64) ([]byte, error) {
 	if off+n > f.size {
 		return nil, fmt.Errorf("%w: [%d,%d) of %d-byte field", ErrOutOfRange, off, off+n, f.size)
 	}
-	return m.readRange(h, f, off, n)
+	before := m.stats
+	out, err := m.readRange(h, f, off, n)
+	m.traceOp("read", h, before, err)
+	return out, err
 }
 
 // bitFlip records one injected single-bit corruption: logical page j of

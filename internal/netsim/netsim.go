@@ -20,6 +20,7 @@ import (
 
 	"qbism/internal/costmodel"
 	"qbism/internal/faultsim"
+	"qbism/internal/obs"
 )
 
 // Typed link failures. Callers classify these as retryable.
@@ -36,6 +37,11 @@ var (
 // Handler serves one RPC: it receives the request payload and returns
 // the response payload.
 type Handler func(request []byte) ([]byte, error)
+
+// SpanHandler is a Handler that additionally receives the server-side
+// trace span for the call (nil when the call is untraced), so the
+// handler's own work nests under the RPC round-trip span.
+type SpanHandler func(sp *obs.Span, request []byte) ([]byte, error)
 
 // MethodFaults counts injected faults for one RPC method.
 type MethodFaults struct {
@@ -109,18 +115,25 @@ type Link struct {
 	model costmodel.Model
 
 	mu       sync.Mutex
-	handlers map[string]Handler
+	handlers map[string]SpanHandler
 	stats    Stats
 	faults   *faultsim.Injector
 }
 
 // NewLink creates a link priced with the given model.
 func NewLink(model costmodel.Model) *Link {
-	return &Link{model: model, handlers: make(map[string]Handler)}
+	return &Link{model: model, handlers: make(map[string]SpanHandler)}
 }
 
 // Register installs the server-side handler for a method name.
 func (l *Link) Register(method string, h Handler) {
+	l.RegisterSpan(method, func(_ *obs.Span, request []byte) ([]byte, error) {
+		return h(request)
+	})
+}
+
+// RegisterSpan installs a span-aware server-side handler.
+func (l *Link) RegisterSpan(method string, h SpanHandler) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.handlers[method] = h
@@ -138,56 +151,82 @@ func (l *Link) SetFaults(in *faultsim.Injector) {
 // and the response crosses back. Both directions are metered and both
 // are subject to the fault policy.
 func (l *Link) Call(method string, request []byte) ([]byte, error) {
+	return l.CallSpan(nil, method, request)
+}
+
+// CallSpan is Call traced under parent (nil parent = untraced): the
+// round trip gets an "rpc.<method>" span with one child per payload
+// crossing — annotated with bytes, messages, and any injected fault —
+// and a "server" child span the handler's work nests under.
+func (l *Link) CallSpan(parent *obs.Span, method string, request []byte) ([]byte, error) {
 	l.mu.Lock()
 	h, ok := l.handlers[method]
 	l.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("netsim: no handler for method %q", method)
 	}
-	delivered, err := l.cross(method, request)
+	rpc := parent.Child("rpc." + method)
+	defer rpc.End()
+	delivered, err := l.cross(rpc, "request", method, request)
 	if err != nil {
+		rpc.SetStr("error", err.Error())
 		return nil, err
 	}
-	resp, err := h(delivered)
+	srv := rpc.Child("server")
+	resp, err := h(srv, delivered)
+	srv.End()
 	if err != nil {
+		rpc.SetStr("error", err.Error())
 		return nil, err
 	}
-	return l.cross(method, resp)
+	out, err := l.cross(rpc, "response", method, resp)
+	if err != nil {
+		rpc.SetStr("error", err.Error())
+	}
+	return out, err
 }
 
 // cross moves one payload over the link: it draws a fault decision,
 // meters the traffic, and either delivers the (possibly tampered)
 // payload or fails with a typed error. The payload is metered even when
 // it is lost — the bytes were sent.
-func (l *Link) cross(method string, payload []byte) ([]byte, error) {
+func (l *Link) cross(parent *obs.Span, dir, method string, payload []byte) ([]byte, error) {
+	sp := parent.Child("net." + dir)
+	defer sp.End()
+	sp.SetInt("bytes", int64(len(payload)))
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	sp.SetInt("messages", int64(l.model.Messages(uint64(len(payload)))))
 	l.meter(uint64(len(payload)))
-	switch l.faults.LinkFault() {
-	case faultsim.Drop:
-		l.stats.Drops++
-		l.bumpMethodFault(method, faultsim.Drop)
-		return nil, fmt.Errorf("netsim: %s: %w", method, ErrDropped)
-	case faultsim.Timeout:
-		l.stats.Timeouts++
-		l.bumpMethodFault(method, faultsim.Timeout)
-		return nil, fmt.Errorf("netsim: %s: %w", method, ErrLinkTimeout)
-	case faultsim.Corrupt:
-		l.stats.Corruptions++
-		l.bumpMethodFault(method, faultsim.Corrupt)
-		return nil, fmt.Errorf("netsim: %s: %w", method, ErrCorrupt)
-	case faultsim.Tamper:
-		l.stats.Tampers++
-		l.bumpMethodFault(method, faultsim.Tamper)
-		if len(payload) > 0 {
-			tampered := make([]byte, len(payload))
-			copy(tampered, payload)
-			tampered[l.faults.Intn(len(tampered))] ^= 1 << l.faults.Intn(8)
-			payload = tampered
+	if fault := l.faults.LinkFault(); fault != faultsim.None {
+		sp.SetStr("fault", fault.String())
+		switch fault {
+		case faultsim.Drop:
+			l.stats.Drops++
+			l.bumpMethodFault(method, faultsim.Drop)
+			return nil, fmt.Errorf("netsim: %s: %w", method, ErrDropped)
+		case faultsim.Timeout:
+			l.stats.Timeouts++
+			l.bumpMethodFault(method, faultsim.Timeout)
+			return nil, fmt.Errorf("netsim: %s: %w", method, ErrLinkTimeout)
+		case faultsim.Corrupt:
+			l.stats.Corruptions++
+			l.bumpMethodFault(method, faultsim.Corrupt)
+			return nil, fmt.Errorf("netsim: %s: %w", method, ErrCorrupt)
+		case faultsim.Tamper:
+			l.stats.Tampers++
+			l.bumpMethodFault(method, faultsim.Tamper)
+			if len(payload) > 0 {
+				tampered := make([]byte, len(payload))
+				copy(tampered, payload)
+				tampered[l.faults.Intn(len(tampered))] ^= 1 << l.faults.Intn(8)
+				payload = tampered
+			}
+		case faultsim.Latency:
+			l.stats.Latencies++
+			l.stats.LatencySim += l.faults.Policy().ExtraLatency
+			sp.SetInt("latencySimNs", int64(l.faults.Policy().ExtraLatency))
 		}
-	case faultsim.Latency:
-		l.stats.Latencies++
-		l.stats.LatencySim += l.faults.Policy().ExtraLatency
 	}
 	return payload, nil
 }

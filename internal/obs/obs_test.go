@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic tracer clock: each reading advances it
+// by step.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Duration
+	step time.Duration
+}
+
+func (c *fakeClock) read() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += c.step
+	return c.now
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Start("root")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// Every span method must be a no-op on nil.
+	c := sp.Child("x")
+	if c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	sp.End()
+	sp.SetInt("k", 1)
+	sp.AddInt("k", 1)
+	sp.SetStr("s", "v")
+	if _, ok := sp.Int("k"); ok {
+		t.Fatal("nil span has attrs")
+	}
+	if _, ok := sp.Str("s"); ok {
+		t.Fatal("nil span has attrs")
+	}
+	if sp.Name() != "" || sp.Duration() != 0 || sp.SumInt("k") != 0 || sp.Count() != 0 {
+		t.Fatal("nil span has state")
+	}
+	if sp.Find("root") != nil || sp.Children() != nil || sp.Attrs() != nil {
+		t.Fatal("nil span has structure")
+	}
+	if sp.RenderString() != "" {
+		t.Fatal("nil span renders")
+	}
+
+	var reg *Registry
+	reg.Counter("c").Inc()
+	reg.Histogram("h", LatencyBuckets).Observe(1)
+	if err := reg.WriteProm(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("c").Value() != 0 {
+		t.Fatal("nil registry counted")
+	}
+
+	var sl *SlowLog
+	sl.Add(SlowEntry{})
+	if sl.Len() != 0 || sl.Total() != 0 || sl.Entries() != nil {
+		t.Fatal("nil slowlog has state")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	clk := &fakeClock{step: time.Millisecond}
+	tr := NewTracerClock(clk.read)
+	if !tr.Enabled() {
+		t.Fatal("tracer not enabled")
+	}
+	root := tr.Start("query")
+	root.SetStr("spec", "study 1")
+	a := root.Child("parse")
+	a.End()
+	b := root.Child("execute")
+	b.SetInt("pages", 10)
+	b.AddInt("pages", 5)
+	op := b.Child("table scan")
+	op.SetInt("pages", 3)
+	op.End()
+	b.End()
+	root.End()
+
+	if got := root.SumInt("pages"); got != 18 {
+		t.Fatalf("SumInt(pages) = %d, want 18", got)
+	}
+	if root.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", root.Count())
+	}
+	if root.Find("table scan") != op {
+		t.Fatal("Find missed the operator span")
+	}
+	if root.Find("missing") != nil {
+		t.Fatal("Find invented a span")
+	}
+	if v, ok := b.Int("pages"); !ok || v != 15 {
+		t.Fatalf("pages attr = %d,%v want 15,true", v, ok)
+	}
+	if s, ok := root.Str("spec"); !ok || s != "study 1" {
+		t.Fatalf("spec attr = %q,%v", s, ok)
+	}
+	if root.Duration() <= 0 {
+		t.Fatal("root has no duration")
+	}
+	if len(root.Children()) != 2 {
+		t.Fatalf("root has %d children, want 2", len(root.Children()))
+	}
+
+	out := root.RenderString()
+	for _, want := range []string{"query", "  parse", "  execute", "    table scan", `spec="study 1"`, "pages=15"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	depths := map[string]int{}
+	root.Walk(func(sp *Span, depth int) { depths[sp.Name()] = depth })
+	if depths["query"] != 0 || depths["execute"] != 1 || depths["table scan"] != 2 {
+		t.Fatalf("wrong depths: %v", depths)
+	}
+}
+
+func TestSpanAttrOverwrite(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("s")
+	sp.SetInt("k", 1)
+	sp.SetInt("k", 7)
+	sp.SetStr("s", "a")
+	sp.SetStr("s", "b")
+	if v, _ := sp.Int("k"); v != 7 {
+		t.Fatalf("SetInt did not overwrite: %d", v)
+	}
+	if v, _ := sp.Str("s"); v != "b" {
+		t.Fatalf("SetStr did not overwrite: %q", v)
+	}
+	if len(sp.Attrs()) != 2 {
+		t.Fatalf("attrs = %v, want 2 entries", sp.Attrs())
+	}
+	// Same key as int and string coexist without clobbering each other.
+	sp.SetInt("s", 3)
+	if v, _ := sp.Str("s"); v != "b" {
+		t.Fatal("int attr clobbered string attr")
+	}
+}
+
+func TestSpanConcurrency(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("batch")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := root.Child("q")
+				c.AddInt("n", 1)
+				c.End()
+				root.AddInt("total", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := root.SumInt("n"); got != 800 {
+		t.Fatalf("SumInt(n) = %d, want 800", got)
+	}
+	if v, _ := root.Int("total"); v != 800 {
+		t.Fatalf("total = %d, want 800", v)
+	}
+}
+
+func TestRegistryCounters(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("qbism_queries_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if reg.Counter("qbism_queries_total") != c {
+		t.Fatal("counter not deduplicated by name")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				reg.Counter("conc").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("conc").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Fatalf("sum = %g, want 556.5", h.Sum())
+	}
+	// Same name returns the same histogram even with different buckets.
+	if reg.Histogram("lat", []float64{7}) != h {
+		t.Fatal("histogram not deduplicated by name")
+	}
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{le="1"} 2`,   // 0.5 and 1 (le is inclusive)
+		`lat_bucket{le="10"} 3`,  // + 5
+		`lat_bucket{le="100"} 4`, // + 50
+		`lat_bucket{le="+Inf"} 5`,
+		"lat_sum 556.5",
+		"lat_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total").Inc()
+	reg.Counter("a_total").Add(2)
+	reg.Histogram("z_hist", []float64{1}).Observe(0.5)
+
+	var first strings.Builder
+	if err := reg.WriteProm(&first); err != nil {
+		t.Fatal(err)
+	}
+	var second strings.Builder
+	if err := reg.WriteProm(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("WriteProm output not deterministic")
+	}
+	if strings.Index(first.String(), "a_total") > strings.Index(first.String(), "b_total") {
+		t.Fatalf("counters not name-sorted:\n%s", first.String())
+	}
+	for _, want := range []string{"# TYPE a_total counter", "a_total 2", "b_total 1"} {
+		if !strings.Contains(first.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, first.String())
+		}
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	sl := NewSlowLog(3)
+	for i := 0; i < 5; i++ {
+		sl.Add(SlowEntry{Label: string(rune('a' + i)), Total: time.Duration(i)})
+	}
+	if sl.Len() != 3 {
+		t.Fatalf("len = %d, want 3", sl.Len())
+	}
+	if sl.Total() != 5 {
+		t.Fatalf("total = %d, want 5", sl.Total())
+	}
+	got := sl.Entries()
+	if len(got) != 3 || got[0].Label != "c" || got[1].Label != "d" || got[2].Label != "e" {
+		t.Fatalf("entries = %+v, want c,d,e oldest-first", got)
+	}
+
+	// Capacity is clamped to at least one entry.
+	tiny := NewSlowLog(0)
+	tiny.Add(SlowEntry{Label: "x"})
+	tiny.Add(SlowEntry{Label: "y"})
+	if tiny.Len() != 1 || tiny.Entries()[0].Label != "y" {
+		t.Fatalf("tiny ring = %+v", tiny.Entries())
+	}
+}
+
+func TestSlowLogConcurrency(t *testing.T) {
+	sl := NewSlowLog(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sl.Add(SlowEntry{Label: "q"})
+				sl.Entries()
+			}
+		}()
+	}
+	wg.Wait()
+	if sl.Total() != 400 || sl.Len() != 8 {
+		t.Fatalf("total=%d len=%d, want 400, 8", sl.Total(), sl.Len())
+	}
+}
+
+func TestTracerMonotonicClock(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("s")
+	time.Sleep(time.Millisecond)
+	live := sp.Duration()
+	if live <= 0 {
+		t.Fatal("live duration not positive")
+	}
+	sp.End()
+	d := sp.Duration()
+	if d <= 0 {
+		t.Fatal("ended duration not positive")
+	}
+	// Re-Ending extends the span.
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if sp.Duration() <= d {
+		t.Fatal("re-End did not extend the span")
+	}
+}

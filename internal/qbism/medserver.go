@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"qbism/internal/lfm"
+	"qbism/internal/obs"
 	"qbism/internal/sdb"
 	"qbism/internal/volume"
 )
@@ -117,7 +118,7 @@ const medicalQueryMethod = "medicalQuery"
 // frame CRC on the way in means a request corrupted in flight fails
 // with a typed, retryable error instead of executing a different query.
 func (s *System) registerMedicalServer() {
-	s.Link.Register(medicalQueryMethod, func(request []byte) ([]byte, error) {
+	s.Link.RegisterSpan(medicalQueryMethod, func(sp *obs.Span, request []byte) ([]byte, error) {
 		specJSON, _, err := decodeFrame(request)
 		if err != nil {
 			return nil, fmt.Errorf("qbism: request: %w", err)
@@ -126,20 +127,42 @@ func (s *System) registerMedicalServer() {
 		if err := json.Unmarshal(specJSON, &spec); err != nil {
 			return nil, fmt.Errorf("qbism: bad query spec: %v", err)
 		}
+		if sp != nil {
+			// Traced handlers run one at a time: the LFM has a single
+			// span attachment point, and serializing here is what makes
+			// the span tree's page accounting reconcile exactly with the
+			// lfm.Stats deltas below (the paper's measured protocol is
+			// serial anyway).
+			s.traceMu.Lock()
+			s.LFM.SetSpan(sp)
+			defer func() {
+				s.LFM.SetSpan(nil)
+				s.traceMu.Unlock()
+			}()
+			sp.SetStr("query", spec.Label())
+		}
 		start := time.Now()
 		stats0 := s.LFM.Stats()
 
-		meta, err := s.runMetadataQuery(spec)
+		msp := sp.Child("sql.metadata")
+		meta, err := s.runMetadataQuery(msp, spec)
+		msp.End()
 		if err != nil {
 			return nil, err
 		}
-		blob, warning, err := s.runDataQuery(spec)
+		dsp := sp.Child("sql.data")
+		blob, warning, err := s.runDataQuery(dsp, spec)
+		dsp.End()
 		if err != nil {
 			return nil, err
 		}
 		if warning != "" {
 			meta.Degraded = true
 			meta.Warning = warning
+			// Degradations must be countable: one counter bump and one
+			// span annotation per degraded answer.
+			s.Metrics.Counter("qbism_degraded_total").Inc()
+			sp.SetStr("degraded", warning)
 		}
 
 		meta.DBCPUNanos = time.Since(start).Nanoseconds()
@@ -148,6 +171,8 @@ func (s *System) registerMedicalServer() {
 		meta.LFMReads = delta.Reads
 		meta.CacheHits = delta.CacheHits
 		meta.CacheMisses = delta.CacheMisses
+		sp.SetInt("lfm.pages", int64(delta.PageReads))
+		sp.SetInt("lfm.reads", int64(delta.Reads))
 		header, err := json.Marshal(meta)
 		if err != nil {
 			return nil, err
@@ -160,9 +185,10 @@ func (s *System) registerMedicalServer() {
 // returns its first row plus the number of rows seen (counting stops at
 // two — one row too many is as wrong as a thousand, and stopping early
 // keeps the executor from materializing a mistaken cross product).
-// The returned row remains valid after the iterator is closed.
-func (s *System) querySingle(sql string, args ...sdb.Value) (row []sdb.Value, n int, err error) {
-	rows, err := s.DB.Query(sql, args...)
+// The returned row remains valid after the iterator is closed. The
+// statement is traced under sp (nil = untraced).
+func (s *System) querySingle(sp *obs.Span, sql string, args ...sdb.Value) (row []sdb.Value, n int, err error) {
+	rows, err := s.DB.QuerySpan(sp, sql, args...)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -182,8 +208,8 @@ func (s *System) querySingle(sql string, args ...sdb.Value) (row []sdb.Value, n 
 // runMetadataQuery executes the paper's first §3.4 query: verify the
 // warped study exists and fetch atlas space and patient information.
 // User-provided strings travel as bind parameters, never spliced text.
-func (s *System) runMetadataQuery(spec QuerySpec) (*QueryMeta, error) {
-	row, n, err := s.querySingle(`
+func (s *System) runMetadataQuery(sp *obs.Span, spec QuerySpec) (*QueryMeta, error) {
+	row, n, err := s.querySingle(sp, `
 select a.n, a.x0, a.y0, a.z0, a.dx, a.dy, a.dz,
        a.atlasId, p.name, p.patientId, rv.date
 from   atlas a, rawVolume rv,
@@ -287,22 +313,22 @@ where  wv.studyId = ? and
 // With streaming, a checksum/read fault surfaces from the row iterator
 // mid-drain (rows.Err()), not from Exec — querySingle folds both into
 // its error return, so the fallback conditions are unchanged.
-func (s *System) runDataQuery(spec QuerySpec) (blob []byte, warning string, err error) {
+func (s *System) runDataQuery(sp *obs.Span, spec QuerySpec) (blob []byte, warning string, err error) {
 	sql, args, err := dataQuerySQL(spec)
 	if err != nil {
 		return nil, "", err
 	}
-	row, n, err := s.querySingle(sql, args...)
+	row, n, err := s.querySingle(sp, sql, args...)
 	if spec.HasBand {
 		switch {
 		case err != nil && (errors.Is(err, lfm.ErrChecksum) || errors.Is(err, lfm.ErrReadFault)):
 			// The stored band REGION (or a joined region) is unreadable.
-			return s.bandSlowPath(spec, fmt.Sprintf(
+			return s.bandSlowPath(sp, spec, fmt.Sprintf(
 				"stored intensityBand [%d,%d] unreadable (%v); recomputed from VOLUME", spec.BandLo, spec.BandHi, err))
 		case err == nil && n == 0:
 			// No matching intensityBand row — the band "index" is missing
 			// for this [lo,hi]; recompute rather than fail.
-			return s.bandSlowPath(spec, fmt.Sprintf(
+			return s.bandSlowPath(sp, spec, fmt.Sprintf(
 				"no stored intensityBand [%d,%d]; recomputed from VOLUME", spec.BandLo, spec.BandHi))
 		}
 	}
@@ -332,11 +358,17 @@ func (s *System) runDataQuery(spec QuerySpec) (blob []byte, warning string, err 
 // REGIONs were built by exactly this scan at load time, and both
 // Filter and intersection() yield the same canonical run list for the
 // same voxel set.
-func (s *System) bandSlowPath(spec QuerySpec, warning string) ([]byte, string, error) {
+func (s *System) bandSlowPath(parent *obs.Span, spec QuerySpec, warning string) ([]byte, string, error) {
 	if spec.BandLo < 0 || spec.BandHi > 255 || spec.BandLo > spec.BandHi {
 		return nil, "", fmt.Errorf("qbism: band [%d,%d] outside the 0-255 intensity range", spec.BandLo, spec.BandHi)
 	}
-	row, n, err := s.querySingle(`
+	// The degradation is a traceable event of its own: everything the
+	// fallback does nests under a "band.fallback" span carrying the
+	// reason, so a trace shows *why* a band query cost Q1-like I/O.
+	sp := parent.Child("band.fallback")
+	defer sp.End()
+	sp.SetStr("reason", warning)
+	row, n, err := s.querySingle(sp, `
 select wv.data
 from   warpedVolume wv, atlas a
 where  wv.studyId = ? and wv.atlasId = a.atlasId and a.atlasName = ?`,
@@ -351,7 +383,7 @@ where  wv.studyId = ? and wv.atlasId = a.atlasId and a.atlasName = ?`,
 
 	var d *volume.DataRegion
 	if spec.Structure != "" {
-		srow, sn, err := s.querySingle(`
+		srow, sn, err := s.querySingle(sp, `
 select as.region
 from   atlasStructure as, neuralStructure ns, atlas a
 where  a.atlasName = ? and as.atlasId = a.atlasId and

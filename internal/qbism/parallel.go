@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"qbism/internal/obs"
 	"qbism/internal/region"
 	"qbism/internal/sdb"
 )
@@ -41,18 +42,32 @@ type BatchItem struct {
 // RunQuery's own retries) land in their item's Err; the batch always
 // completes.
 func (s *System) RunQueries(specs []QuerySpec, workers int) []BatchItem {
+	items, _ := s.RunQueriesTraced(specs, workers)
+	return items
+}
+
+// RunQueriesTraced is RunQueries plus the batch's root span: every
+// per-study query tree hangs off one "batch" span, so a multi-study
+// workload renders as a single forest. The span is nil when tracing is
+// off. Spans are internally locked, so concurrent workers appending
+// children under the shared root are race-clean.
+func (s *System) RunQueriesTraced(specs []QuerySpec, workers int) ([]BatchItem, *obs.Span) {
 	if workers <= 0 {
 		workers = s.Cfg.Workers
 	}
+	batch := s.Tracer.Start("batch")
+	batch.SetInt("queries", int64(len(specs)))
+	batch.SetInt("workers", int64(workers))
+	defer batch.End()
 	out := make([]BatchItem, len(specs))
 	for i, spec := range specs {
 		out[i].Spec = spec
 	}
 	if workers <= 1 || len(specs) <= 1 {
 		for i, spec := range specs {
-			out[i].Res, out[i].Err = s.RunQuery(spec)
+			out[i].Res, out[i].Err = s.runQuerySpan(batch, spec)
 		}
-		return out
+		return out, batch
 	}
 	if workers > len(specs) {
 		workers = len(specs)
@@ -64,7 +79,7 @@ func (s *System) RunQueries(specs []QuerySpec, workers int) []BatchItem {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				out[i].Res, out[i].Err = s.RunQuery(out[i].Spec)
+				out[i].Res, out[i].Err = s.runQuerySpan(batch, out[i].Spec)
 			}
 		}()
 	}
@@ -73,7 +88,7 @@ func (s *System) RunQueries(specs []QuerySpec, workers int) []BatchItem {
 	}
 	close(work)
 	wg.Wait()
-	return out
+	return out, batch
 }
 
 // BatchSim prices a completed batch with the cost model's simulated
@@ -167,7 +182,7 @@ func (s *System) ConsistentBandRegion(studies []int, bandLo, bandHi int, encodin
 // fetchBandRegion reads one study's stored band REGION and recodes it
 // onto the system curve (mirroring the nIntersect UDF's normalization).
 func (s *System) fetchBandRegion(studyID, bandLo, bandHi int, encoding string) (*region.Region, error) {
-	row, n, err := s.querySingle(`
+	row, n, err := s.querySingle(nil, `
 select ib.region
 from   intensityBand ib
 where  ib.studyId = ? and ib.lo = ? and ib.hi = ? and ib.encoding = ?`,

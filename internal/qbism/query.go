@@ -3,10 +3,12 @@ package qbism
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"qbism/internal/dx"
 	"qbism/internal/faultsim"
+	"qbism/internal/obs"
 	"qbism/internal/volume"
 )
 
@@ -46,6 +48,10 @@ type QueryResult struct {
 	// Retry reports the query's resilience history: attempts, retries,
 	// and total simulated backoff.
 	Retry RetryStats
+	// Trace is the query's span tree (nil unless Config.Trace): the RPC
+	// round trips, server-side SQL phases and operators, per-handle LFM
+	// I/O, and the DX import/render stages.
+	Trace *obs.Span
 }
 
 // RunQuery executes a query end to end under the paper's measurement
@@ -61,11 +67,27 @@ type QueryResult struct {
 // jitter. Backoff is simulated time — no real sleeping — accounted in
 // Timing.RetrySim.
 func (s *System) RunQuery(spec QuerySpec) (*QueryResult, error) {
+	return s.runQuerySpan(nil, spec)
+}
+
+// runQuerySpan is RunQuery with an optional parent span (the batch
+// root, for RunQueries). With tracing enabled it produces the query's
+// span tree, feeds the metrics registry, and captures slow queries.
+func (s *System) runQuerySpan(parent *obs.Span, spec QuerySpec) (*QueryResult, error) {
 	s.Cache.Flush() // §6.1: "we flushed the DX cache before each run"
 	totalStart := time.Now()
 
+	var root *obs.Span
+	if parent != nil {
+		root = parent.Child("query")
+	} else {
+		root = s.Tracer.Start("query")
+	}
+	root.SetStr("spec", spec.Label())
+
 	specJSON, err := json.Marshal(spec)
 	if err != nil {
+		root.End()
 		return nil, err
 	}
 	request := encodeFrame(specJSON, nil)
@@ -79,7 +101,7 @@ func (s *System) RunQuery(spec QuerySpec) (*QueryResult, error) {
 	var blob []byte
 	for attempt := 1; ; attempt++ {
 		retry.Attempts = attempt
-		resp, err := s.Link.Call(medicalQueryMethod, request)
+		resp, err := s.Link.CallSpan(root, medicalQueryMethod, request)
 		if err == nil {
 			meta, blob, err = splitResponse(resp)
 		}
@@ -88,7 +110,7 @@ func (s *System) RunQuery(spec QuerySpec) (*QueryResult, error) {
 		}
 		retry.LastError = err.Error()
 		if attempt >= pol.MaxAttempts || !RetryableError(err) {
-			return nil, fmt.Errorf("qbism: query failed after %d attempt(s): %w", attempt, err)
+			return nil, s.failQuery(root, retry, fmt.Errorf("qbism: query failed after %d attempt(s): %w", attempt, err))
 		}
 		retry.Retries++
 		retry.BackoffSim += pol.backoff(attempt, jitter)
@@ -97,20 +119,27 @@ func (s *System) RunQuery(spec QuerySpec) (*QueryResult, error) {
 	netDelta := s.Link.Stats().Sub(net0)
 
 	importStart := time.Now()
+	importSp := root.Child("dx.import")
 	data, err := UnmarshalDataRegion(blob)
 	if err != nil {
-		return nil, err
+		importSp.End()
+		return nil, s.failQuery(root, retry, err)
 	}
 	field, importStats, err := dx.ImportVolume(data)
+	importSp.SetInt("voxels", int64(importStats.Voxels))
+	importSp.SetInt("runs", int64(importStats.Runs))
+	importSp.End()
 	if err != nil {
-		return nil, err
+		return nil, s.failQuery(root, retry, err)
 	}
 	importDur := time.Since(importStart)
 
 	renderStart := time.Now()
+	renderSp := root.Child("dx.render")
 	img, err := field.Render(dx.RenderOpts{Axis: 2, Mode: dx.MIP})
+	renderSp.End()
 	if err != nil {
-		return nil, err
+		return nil, s.failQuery(root, retry, err)
 	}
 	renderDur := time.Since(renderStart)
 	s.Cache.Put(spec.Key(), field)
@@ -134,9 +163,82 @@ func (s *System) RunQuery(spec QuerySpec) (*QueryResult, error) {
 	t.TotalSim = t.DBSimReal + t.NetSim + t.ImportSim + t.RenderSim + t.RetrySim + t.OtherSim
 	t.TotalMeasured = time.Since(totalStart)
 
+	root.SetInt("attempts", int64(retry.Attempts))
+	root.SetInt("retries", int64(retry.Retries))
+	root.SetInt("lfm.pages", int64(meta.LFMPages))
+	root.SetInt("voxels", int64(t.Voxels))
+	if meta.Degraded {
+		root.SetStr("degraded", meta.Warning)
+	}
+	root.End()
+	s.observeQuery(spec, t, retry, root)
+
 	return &QueryResult{
 		Spec: spec, Meta: *meta, Data: data, Field: field, Image: img, Timing: t, Retry: retry,
+		Trace: root,
 	}, nil
+}
+
+// failQuery finishes a query's observability on the error path: the
+// root span is annotated and ended, and the error counters bump.
+func (s *System) failQuery(root *obs.Span, retry RetryStats, err error) error {
+	root.SetStr("error", err.Error())
+	root.SetInt("attempts", int64(retry.Attempts))
+	root.SetInt("retries", int64(retry.Retries))
+	root.End()
+	s.Metrics.Counter("qbism_queries_total").Inc()
+	s.Metrics.Counter("qbism_query_errors_total").Inc()
+	s.Metrics.Counter("qbism_retries_total").Add(int64(retry.Retries))
+	return err
+}
+
+// observeQuery feeds the metrics registry and, when the query's
+// measured latency reaches the slow-log threshold, captures the full
+// span tree plus the executed plan into the slow-query ring.
+func (s *System) observeQuery(spec QuerySpec, t QueryTiming, retry RetryStats, root *obs.Span) {
+	s.Metrics.Counter("qbism_queries_total").Inc()
+	s.Metrics.Counter("qbism_retries_total").Add(int64(retry.Retries))
+	s.Metrics.Histogram("qbism_query_latency_seconds", obs.LatencyBuckets).
+		Observe(t.TotalMeasured.Seconds())
+	s.Metrics.Histogram("qbism_query_lfm_pages", obs.PageBuckets).
+		Observe(float64(t.LFMPages))
+	if s.SlowLog != nil && root != nil && t.TotalMeasured >= s.Cfg.SlowLogThreshold {
+		s.SlowLog.Add(obs.SlowEntry{
+			Label:   spec.Label(),
+			Total:   t.TotalMeasured,
+			Tree:    root.RenderString(),
+			Explain: explainFromSpan(root),
+		})
+	}
+}
+
+// explainFromSpan reconstructs the EXPLAIN ANALYZE view from a query's
+// span tree: the operator spans under each "sql.execute" phase carry
+// exactly the counters explainSelect would print, so no re-execution
+// (and no extra I/O) is needed for the forensic capture.
+func explainFromSpan(root *obs.Span) []string {
+	var out []string
+	var operators func(sp *obs.Span, depth int)
+	operators = func(sp *obs.Span, depth int) {
+		in, _ := sp.Int("rowsIn")
+		outRows, _ := sp.Int("rowsOut")
+		udf, _ := sp.Int("udfCalls")
+		pages, _ := sp.Int("lfmPages")
+		out = append(out, fmt.Sprintf("%s%s [in=%d out=%d udf=%d pages=%d]",
+			strings.Repeat("  ", depth), sp.Name(), in, outRows, udf, pages))
+		for _, c := range sp.Children() {
+			operators(c, depth+1)
+		}
+	}
+	root.Walk(func(sp *obs.Span, _ int) {
+		if sp.Name() != "sql.execute" {
+			return
+		}
+		for _, c := range sp.Children() {
+			operators(c, 0)
+		}
+	})
+	return out
 }
 
 // RunQueryCached serves the query from the DX cache when possible (the

@@ -3,6 +3,8 @@ package qbism
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
+	"time"
 
 	"qbism/internal/atlas"
 	"qbism/internal/costmodel"
@@ -10,6 +12,7 @@ import (
 	"qbism/internal/faultsim"
 	"qbism/internal/lfm"
 	"qbism/internal/netsim"
+	"qbism/internal/obs"
 	"qbism/internal/rencode"
 	"qbism/internal/sdb"
 	"qbism/internal/sfc"
@@ -91,6 +94,21 @@ type Config struct {
 	// batches (RunQueries, Table4Parallel). Zero or one means serial.
 	Workers int
 
+	// Trace enables end-to-end query tracing: every RunQuery produces a
+	// span tree covering the RPC round trips, SQL parse/plan/execute
+	// phases, per-operator counters, per-handle LFM I/O, and the DX
+	// import/render stages (QueryResult.Trace). To keep the LFM span
+	// attribution exact, traced MedicalServer handlers execute serially;
+	// parallel batches still overlap their client-side stages.
+	Trace bool
+	// SlowLogThreshold, when positive (and Trace is set), captures the
+	// full span tree and executed plan of every query whose measured
+	// total latency reaches it into a bounded slow-query log
+	// (System.SlowLog). Zero disables the log.
+	SlowLogThreshold time.Duration
+	// SlowLogCapacity is the slow-query ring size (default 32).
+	SlowLogCapacity int
+
 	// DisablePushdown turns off the SQL planner's predicate pushdown and
 	// hash joins: every query runs FROM-order nested loops with one
 	// monolithic WHERE filter at the top. Spatial predicates then
@@ -114,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1993
+	}
+	if c.SlowLogCapacity == 0 {
+		c.SlowLogCapacity = 32
 	}
 	if c.DeviceBytes == 0 {
 		volBytes := uint64(1) << (3 * c.Bits)
@@ -149,6 +170,19 @@ type System struct {
 	// tests and the CLI's fault report.
 	LinkFaults   *faultsim.Injector
 	DeviceFaults *faultsim.Injector
+
+	// Tracer is the query tracer (nil unless Cfg.Trace). Metrics is the
+	// process-wide registry — always present, so counters like
+	// qbism_degraded_total accumulate whether or not tracing is on.
+	// SlowLog is the slow-query ring (nil unless tracing with a
+	// positive SlowLogThreshold).
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
+	SlowLog *obs.SlowLog
+	// traceMu serializes traced MedicalServer handlers so the LFM's
+	// per-handle span attribution is exact (the LFM has one attachment
+	// point; see lfm.Manager.SetSpan).
+	traceMu sync.Mutex
 
 	AtlasID int
 	Studies []StudyInfo
@@ -217,6 +251,17 @@ func New(cfg Config) (*System, error) {
 	// Loading traffic is not part of any measured query.
 	s.LFM.ResetStats()
 	s.Link.ResetStats()
+	// Observability attaches only now, for the same reason: metrics and
+	// spans describe query traffic, not the load pipeline.
+	s.Metrics = obs.NewRegistry()
+	s.DB.SetMetrics(s.Metrics)
+	if cfg.Trace {
+		s.Tracer = obs.NewTracer()
+		s.DB.SetTracer(s.Tracer)
+		if cfg.SlowLogThreshold > 0 {
+			s.SlowLog = obs.NewSlowLog(cfg.SlowLogCapacity)
+		}
+	}
 	// Fault injection starts only now: loading runs on perfect hardware
 	// (the paper's load pipeline is out of scope for the fault model),
 	// queries run on the configured one.

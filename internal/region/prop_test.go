@@ -1,0 +1,215 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+
+	"qbism/internal/sfc"
+)
+
+// Property-based invariant coverage for the run-list representation:
+// random inputs through every constructor and set operation must yield
+// canonical run lists (sorted, disjoint, gap-separated, in-domain) and
+// must agree with a naive id-set model. Seeded, so failures replay.
+
+func propCurve(t *testing.T, rng *rand.Rand) sfc.Curve {
+	t.Helper()
+	kinds := []sfc.Kind{sfc.Hilbert, sfc.ZOrder, sfc.Scanline}
+	c, err := sfc.New(kinds[rng.Intn(len(kinds))], 3, 2+rng.Intn(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// assertCanonical checks the monotone run invariants.
+func assertCanonical(t *testing.T, r *Region, ctx string) {
+	t.Helper()
+	n := r.Curve().Length()
+	runs := r.Runs()
+	for i, run := range runs {
+		if run.Lo > run.Hi || run.Hi >= n {
+			t.Fatalf("%s: run %d out of order or domain: %v (curve length %d)", ctx, i, run, n)
+		}
+		if i > 0 && run.Lo <= runs[i-1].Hi+1 {
+			t.Fatalf("%s: runs %d,%d not strictly separated: %v %v", ctx, i-1, i, runs[i-1], run)
+		}
+	}
+}
+
+// idSet is the naive model: the set of curve positions.
+func idSet(r *Region) map[uint64]bool {
+	s := make(map[uint64]bool)
+	r.ForEachID(func(id uint64) bool {
+		s[id] = true
+		return true
+	})
+	return s
+}
+
+func randomRuns(rng *rand.Rand, n uint64) []Run {
+	nruns := rng.Intn(10)
+	runs := make([]Run, 0, nruns)
+	for i := 0; i < nruns; i++ {
+		lo := rng.Uint64() % n
+		hi := lo + rng.Uint64()%8
+		if hi >= n {
+			hi = n - 1
+		}
+		runs = append(runs, Run{Lo: lo, Hi: hi})
+	}
+	return runs
+}
+
+// TestFromRunsCanonicalizes feeds unsorted, overlapping, adjacent run
+// soup into FromRuns: the result must be canonical and contain exactly
+// the union of the input positions.
+func TestFromRunsCanonicalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 400; i++ {
+		c := propCurve(t, rng)
+		runs := randomRuns(rng, c.Length())
+		r, err := FromRuns(c, runs)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		assertCanonical(t, r, "FromRuns")
+		want := make(map[uint64]bool)
+		var voxels uint64
+		for _, run := range runs {
+			for id := run.Lo; id <= run.Hi; id++ {
+				want[id] = true
+			}
+		}
+		got := idSet(r)
+		voxels = uint64(len(want))
+		if r.NumVoxels() != voxels {
+			t.Fatalf("iter %d: NumVoxels %d, model says %d", i, r.NumVoxels(), voxels)
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("iter %d: position %d lost", i, id)
+			}
+			if !r.ContainsID(id) {
+				t.Fatalf("iter %d: ContainsID(%d) false for a member", i, id)
+			}
+		}
+		for id := range got {
+			if !want[id] {
+				t.Fatalf("iter %d: position %d invented", i, id)
+			}
+		}
+	}
+}
+
+// TestSetOpsMatchModel checks Intersect/Union/Difference/Complement
+// against the id-set model and that every result is canonical.
+func TestSetOpsMatchModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 250; i++ {
+		c := propCurve(t, rng)
+		a, err := FromRuns(c, randomRuns(rng, c.Length()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FromRuns(c, randomRuns(rng, c.Length()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, sb := idSet(a), idSet(b)
+
+		check := func(name string, r *Region, member func(id uint64) bool) {
+			assertCanonical(t, r, name)
+			got := idSet(r)
+			for id := uint64(0); id < c.Length(); id++ {
+				if member(id) != got[id] {
+					t.Fatalf("iter %d %s: position %d membership wrong", i, name, id)
+				}
+			}
+		}
+		inter, err := Intersect(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("intersect", inter, func(id uint64) bool { return sa[id] && sb[id] })
+		uni, err := Union(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("union", uni, func(id uint64) bool { return sa[id] || sb[id] })
+		diff, err := Difference(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("difference", diff, func(id uint64) bool { return sa[id] && !sb[id] })
+		comp, err := Complement(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("complement", comp, func(id uint64) bool { return !sa[id] })
+
+		// Algebraic cross-checks: |A| = |A∩B| + |A\B|, and containment.
+		if inter.NumVoxels()+diff.NumVoxels() != a.NumVoxels() {
+			t.Fatalf("iter %d: |A∩B| + |A\\B| != |A|", i)
+		}
+		cu, err := Contains(uni, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := Contains(uni, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cu || !cb {
+			t.Fatalf("iter %d: union does not contain its operands", i)
+		}
+		ov, err := Overlaps(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := !inter.Empty(); ov != want {
+			t.Fatalf("iter %d: Overlaps=%v but intersection empty=%v", i, ov, inter.Empty())
+		}
+	}
+}
+
+// TestRecodeRoundTripProperty recodes random regions Hilbert → Z-order
+// → scanline → Hilbert: every hop preserves the voxel set (same points,
+// different linearization) and yields canonical runs.
+func TestRecodeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 120; i++ {
+		bits := 2 + rng.Intn(2)
+		hil, err := sfc.New(sfc.Hilbert, 3, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := sfc.New(sfc.ZOrder, 3, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan, err := sfc.New(sfc.Scanline, 3, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := FromRuns(hil, randomRuns(rng, hil.Length()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nvox := r.NumVoxels()
+		cur := r
+		for _, c := range []sfc.Curve{z, scan, hil} {
+			cur, err = cur.Recode(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertCanonical(t, cur, "recode")
+			if cur.NumVoxels() != nvox {
+				t.Fatalf("iter %d: recode changed voxel count %d -> %d", i, nvox, cur.NumVoxels())
+			}
+		}
+		if !cur.Equal(r) {
+			t.Fatalf("iter %d: Hilbert->Z->scanline->Hilbert is not the identity", i)
+		}
+	}
+}

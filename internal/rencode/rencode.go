@@ -187,7 +187,9 @@ func Decode(data []byte) (*region.Region, error) {
 
 	switch m {
 	case Naive:
-		if uint64(len(body)) < 8*count {
+		// Divide rather than multiply: 8*count overflows for a corrupt
+		// count and would wave a giant allocation through the check.
+		if count > uint64(len(body))/8 {
 			return nil, fmt.Errorf("%w: naive body truncated", ErrCorrupt)
 		}
 		runs := make([]region.Run, count)
@@ -214,10 +216,13 @@ func Decode(data []byte) (*region.Region, error) {
 			return nil, fmt.Errorf("%w: missing rice parameter", ErrCorrupt)
 		}
 		k := body[0]
+		if k > 63 {
+			return nil, fmt.Errorf("%w: rice parameter %d", ErrCorrupt, k)
+		}
 		r := bitio.NewReader(body[1:], -1)
 		return decodeDeltas(curve, count, func() (uint64, error) { return readRice(r, k) })
 	case OblongOctant, Octant:
-		if uint64(len(body)) < 4*count {
+		if count > uint64(len(body))/4 {
 			return nil, fmt.Errorf("%w: octant body truncated", ErrCorrupt)
 		}
 		octs := make([]region.Octant, count)
@@ -240,6 +245,12 @@ func Decode(data []byte) (*region.Region, error) {
 func decodeDeltas(curve sfc.Curve, count uint64, read func() (uint64, error)) (*region.Region, error) {
 	if count == 0 {
 		return region.Empty(curve), nil
+	}
+	// Every delta covers at least one position, so more deltas than the
+	// curve has positions is corrupt — and bounding count here keeps a
+	// corrupt header from driving the preallocation below.
+	if count > curve.Length() {
+		return nil, fmt.Errorf("%w: %d deltas on a %d-position curve", ErrCorrupt, count, curve.Length())
 	}
 	runs := make([]region.Run, 0, count/2+1)
 	pos := uint64(0)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"qbism/internal/lfm"
+	"qbism/internal/obs"
 )
 
 // Column describes one table column.
@@ -41,6 +42,13 @@ type DB struct {
 	lfm    *lfm.Manager
 
 	noPushdown bool // zero value = predicate pushdown enabled
+
+	// tracer, when non-nil, gives each SELECT a span tree: parse, plan,
+	// and execute phases, with one span per physical operator carrying
+	// its runtime counters. metrics, when non-nil, aggregates query
+	// counts and per-operator row histograms.
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 // NewDB creates an empty database backed by the given long field
@@ -64,6 +72,16 @@ func (db *DB) SetPushdown(on bool) { db.noPushdown = !on }
 
 // PushdownEnabled reports whether predicate pushdown is active.
 func (db *DB) PushdownEnabled() bool { return !db.noPushdown }
+
+// SetTracer installs (or with nil, removes) the tracer SELECTs are
+// traced with. Like SetPushdown, not safe to call concurrently with
+// queries; once installed, tracing itself is concurrency-safe (each
+// query's spans are private to its Rows).
+func (db *DB) SetTracer(t *obs.Tracer) { db.tracer = t }
+
+// SetMetrics installs (or with nil, removes) the metrics registry.
+// Same concurrency contract as SetTracer.
+func (db *DB) SetMetrics(r *obs.Registry) { db.metrics = r }
 
 // Table looks up a table by name (case-insensitive).
 func (db *DB) Table(name string) (*Table, error) {

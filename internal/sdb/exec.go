@@ -3,6 +3,8 @@ package sdb
 import (
 	"fmt"
 	"strings"
+
+	"qbism/internal/obs"
 )
 
 // Result is the output of a statement: column labels and rows. For
@@ -73,6 +75,13 @@ type Rows struct {
 	err    error
 	opened bool
 	closed bool
+
+	// Tracing state: stmt is the statement span (ended at Close, after
+	// the operator tree is emitted under exec); db carries the metrics
+	// registry. All nil/no-op when untraced.
+	db   *DB
+	stmt *obs.Span
+	exec *obs.Span
 }
 
 // Columns returns the output column labels.
@@ -116,8 +125,59 @@ func (r *Rows) Close() error {
 	if !r.closed {
 		r.closed = true
 		r.root.close()
+		r.finishObs()
 	}
 	return nil
+}
+
+// finishObs completes the query's trace and metrics at Close: the
+// operator tree is emitted as spans under the execute span — each
+// operator's rowsIn/rowsOut/udfCalls/lfmPages counters become span
+// attributes, mirroring EXPLAIN ANALYZE — and the per-operator row
+// counts feed the sdb_operator_rows histogram.
+func (r *Rows) finishObs() {
+	if r.stmt != nil {
+		emitOpSpans(r.exec, r.root)
+		r.exec.End()
+		if r.err != nil {
+			r.stmt.SetStr("error", r.err.Error())
+		}
+		r.stmt.End()
+	}
+	if r.db != nil && r.db.metrics != nil {
+		r.db.metrics.Counter("sdb_queries_total").Inc()
+		if r.err != nil {
+			r.db.metrics.Counter("sdb_query_errors_total").Inc()
+		}
+		h := r.db.metrics.Histogram("sdb_operator_rows", obs.RowBuckets)
+		var walk func(op operator)
+		walk = func(op operator) {
+			h.Observe(float64(op.stats().rowsOut))
+			for _, k := range op.kids() {
+				walk(k)
+			}
+		}
+		walk(r.root)
+	}
+}
+
+// emitOpSpans mirrors the operator tree as child spans of parent, one
+// per operator, named by its describe() line with the runtime counters
+// attached.
+func emitOpSpans(parent *obs.Span, op operator) {
+	if parent == nil {
+		return
+	}
+	sp := parent.Child(op.describe())
+	st := op.stats()
+	sp.SetInt("rowsIn", st.rowsIn)
+	sp.SetInt("rowsOut", st.rowsOut)
+	sp.SetInt("udfCalls", st.udfCalls)
+	sp.SetInt("lfmPages", st.lfmPages)
+	for _, k := range op.kids() {
+		emitOpSpans(sp, k)
+	}
+	sp.End()
 }
 
 // Query parses a SELECT and returns a streaming row iterator; rows are
@@ -125,31 +185,76 @@ func (r *Rows) Close() error {
 // materialization below sort/aggregate boundaries. Optional args bind
 // "?" placeholders.
 func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
+	return db.QuerySpan(nil, sql, args...)
+}
+
+// QuerySpan is Query traced under parent: the statement gets a
+// "sql.query" span (a child of parent, or a root span when parent is
+// nil and the DB has a tracer) with "sql.parse", "sql.plan", and
+// "sql.execute" phases; at Close the executed operator tree is emitted
+// under the execute span with per-operator counters. A nil parent on
+// an untraced DB makes every span a no-op — this is the Query path.
+func (db *DB) QuerySpan(parent *obs.Span, sql string, args ...Value) (*Rows, error) {
+	sp := db.stmtSpan(parent)
+	ps := sp.Child("sql.parse")
 	stmt, err := Parse(sql)
+	ps.End()
 	if err != nil {
+		sp.SetStr("error", err.Error())
+		sp.End()
 		return nil, err
 	}
 	sel, ok := stmt.(*SelectStmt)
 	if !ok {
+		sp.End()
 		return nil, fmt.Errorf("sdb: Query supports only SELECT, got %T", stmt)
 	}
-	return db.QueryStmt(sel, args...)
+	rows, err := db.queryStmtSpan(sp, sel, args)
+	if err != nil {
+		sp.SetStr("error", err.Error())
+		sp.End()
+	}
+	return rows, err
 }
 
 // QueryStmt is Query for an already parsed SELECT.
 func (db *DB) QueryStmt(s *SelectStmt, args ...Value) (*Rows, error) {
+	sp := db.stmtSpan(nil)
+	rows, err := db.queryStmtSpan(sp, s, args)
+	if err != nil {
+		sp.SetStr("error", err.Error())
+		sp.End()
+	}
+	return rows, err
+}
+
+// stmtSpan starts the statement span: under parent when given,
+// otherwise as a root span of the DB's tracer (nil when untraced).
+func (db *DB) stmtSpan(parent *obs.Span) *obs.Span {
+	if parent != nil {
+		return parent.Child("sql.query")
+	}
+	return db.tracer.Start("sql.query")
+}
+
+func (db *DB) queryStmtSpan(sp *obs.Span, s *SelectStmt, args []Value) (*Rows, error) {
 	if want := countPlaceholders(s); want != len(args) {
 		return nil, fmt.Errorf("sdb: statement has %d bind parameter(s), got %d argument(s)", want, len(args))
 	}
+	pl := sp.Child("sql.plan")
 	plan, err := db.planSelect(s)
 	if err != nil {
+		pl.End()
 		return nil, err
 	}
 	root, err := db.buildPipeline(plan, args)
+	pl.End()
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{cols: plan.columns, root: root}, nil
+	rows := &Rows{cols: plan.columns, root: root, db: db, stmt: sp}
+	rows.exec = sp.Child("sql.execute")
+	return rows, nil
 }
 
 // execSelect runs a SELECT to completion through the iterator pipeline

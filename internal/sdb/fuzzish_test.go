@@ -7,10 +7,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
 	"qbism/internal/lfm"
+	"qbism/internal/obs"
 )
 
 // TestParseNeverPanics feeds random byte soup and random token
@@ -403,6 +405,86 @@ func rowsKey(rows [][]Value) string {
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")
+}
+
+// TestTracedEquivalenceFuzz is the observability differential: the same
+// 400 randomized SELECTs run on a traced engine (span collection plus a
+// live metrics registry) and an untraced twin, from several goroutines,
+// and every result must be identical — same columns, same rows, same
+// order. Tracing may observe a query; it may never change one. Under
+// `go test -race` this also proves concurrent span and histogram
+// updates are clean.
+func TestTracedEquivalenceFuzz(t *testing.T) {
+	plain := fuzzEquivDB()
+	traced := fuzzEquivDB()
+	tracer := obs.NewTracer()
+	reg := obs.NewRegistry()
+	traced.SetTracer(tracer)
+	traced.SetMetrics(reg)
+
+	const numQueries = 400
+	rng := rand.New(rand.NewSource(1993))
+	queries := make([]fuzzQuery, numQueries)
+	for i := range queries {
+		queries[i] = genEquivQuery(rng)
+	}
+
+	const workers = 4
+	var executed int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < numQueries; i += workers {
+				fq := queries[i]
+				want, errW := plain.Exec(fq.sql)
+				root := tracer.Start("fuzz")
+				rows, errG := traced.QuerySpan(root, fq.sql)
+				var gotCols []string
+				var gotRows [][]Value
+				if errG == nil {
+					gotCols = rows.Columns()
+					for rows.Next() {
+						row := rows.Row()
+						cp := make([]Value, len(row))
+						copy(cp, row)
+						gotRows = append(gotRows, cp)
+					}
+					errG = rows.Err()
+					rows.Close()
+				}
+				root.End()
+				if (errW == nil) != (errG == nil) {
+					t.Errorf("error mismatch for %q:\nuntraced: %v\ntraced:   %v", fq.sql, errW, errG)
+					continue
+				}
+				if errW != nil {
+					continue
+				}
+				atomic.AddInt64(&executed, 1)
+				if !reflect.DeepEqual(want.Columns, gotCols) {
+					t.Errorf("columns mismatch for %q: %v vs %v", fq.sql, want.Columns, gotCols)
+					continue
+				}
+				if !rowsEqual(want.Rows, gotRows) {
+					t.Errorf("traced rows diverged for %q:\nuntraced: %q\ntraced:   %q",
+						fq.sql, rowsKey(want.Rows), rowsKey(gotRows))
+					continue
+				}
+				if root.Find("sql.execute") == nil {
+					t.Errorf("no sql.execute span for %q", fq.sql)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if executed == 0 {
+		t.Fatal("no generated query executed successfully — the differential is vacuous")
+	}
+	if got := reg.Counter("sdb_queries_total").Value(); got < executed {
+		t.Errorf("sdb_queries_total = %d, want at least the %d successful queries", got, executed)
+	}
 }
 
 func TestPlannerEquivalenceFuzz(t *testing.T) {

@@ -45,6 +45,7 @@ import (
 	"qbism/internal/lfm"
 	"qbism/internal/mining"
 	"qbism/internal/netsim"
+	"qbism/internal/obs"
 	core "qbism/internal/qbism"
 	"qbism/internal/region"
 	"qbism/internal/rencode"
@@ -287,6 +288,38 @@ var (
 	// RetryableError classifies an error as transient (retryable) or
 	// semantic (terminal).
 	RetryableError = core.RetryableError
+)
+
+// Observability (Config.Trace, Config.SlowLogThreshold): per-query
+// span trees through the whole stack, a process-wide metrics registry
+// with Prometheus-style exposition, and the slow-query forensics ring.
+type (
+	// Tracer mints query span trees (sys.Tracer when Config.Trace).
+	Tracer = obs.Tracer
+	// Span is one node of a query's span tree.
+	Span = obs.Span
+	// SpanAttr is one span attribute (counter or string annotation).
+	SpanAttr = obs.Attr
+	// MetricsRegistry aggregates counters and bounded histograms
+	// (sys.Metrics; text exposition via WriteProm).
+	MetricsRegistry = obs.Registry
+	// MetricCounter is a monotone process-wide counter.
+	MetricCounter = obs.Counter
+	// MetricHistogram is a bounded-bucket histogram.
+	MetricHistogram = obs.Histogram
+	// SlowQueryLog is the bounded ring of captured slow queries
+	// (sys.SlowLog when Config.SlowLogThreshold > 0).
+	SlowQueryLog = obs.SlowLog
+	// SlowQueryEntry is one captured slow query: label, latency, the
+	// full span tree, and the EXPLAIN ANALYZE view of its plan.
+	SlowQueryEntry = obs.SlowEntry
+)
+
+// Observability constructors (for standalone use outside a System).
+var (
+	NewTracer          = obs.NewTracer
+	NewMetricsRegistry = obs.NewRegistry
+	NewSlowQueryLog    = obs.NewSlowLog
 )
 
 // Band encoding labels for Config.ExtraBandEncodings / Table 4.
