@@ -1,6 +1,8 @@
-# Pre-merge check: vet, build, the full test suite under the race
-# detector (the chaos, netsim, and planner-equivalence concurrency
-# tests are required to be race-clean), per-package coverage floors,
+# Pre-merge check: vet, build, the repo's own static analysis
+# (qbismlint — determinism/spanpair/lockguard/errwrap/opproto, see
+# DESIGN.md §11), the full test suite under the race detector (the
+# chaos, netsim, and planner-equivalence concurrency tests are required
+# to be race-clean), per-package coverage floors, a fuzz smoke pass,
 # and a one-iteration perfbench smoke run. Run `make check` before
 # merging; `make bench` regenerates BENCH_PR4.json.
 
@@ -9,12 +11,15 @@ GO ?= go
 # Packages with an enforced coverage floor, and the floor itself. These
 # are the layers the observability work leans on hardest; keep them
 # honest.
-COVER_PKGS ?= ./internal/obs ./internal/lfm ./internal/sdb
+COVER_PKGS ?= ./internal/obs ./internal/lfm ./internal/sdb ./internal/lint
 COVER_FLOOR ?= 70.0
 
-.PHONY: check vet build test race cover bench bench-smoke
+# Per-target budget for the fuzz smoke pass.
+FUZZTIME ?= 5s
 
-check: vet build race cover bench-smoke
+.PHONY: check vet build lint test race cover fuzz-smoke bench bench-smoke
+
+check: vet build lint race cover fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,11 +27,24 @@ vet:
 build:
 	$(GO) build ./...
 
+# Repo-specific static analysis. Exits non-zero on any unsuppressed
+# diagnostic; suppressions are `//lint:ignore <check> <reason>` lines.
+# The final line is always "qbismlint: N files, M diagnostics,
+# K suppressed" so regressions show up in CI logs.
+lint:
+	$(GO) run ./cmd/qbismlint
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Short native-fuzz runs over the checked-in seed corpora: the sdb SQL
+# parser and the rencode REGION decoder, $(FUZZTIME) each.
+fuzz-smoke:
+	$(GO) test -run '^FuzzParseSQL$$' -fuzz '^FuzzParseSQL$$' -fuzztime=$(FUZZTIME) ./internal/sdb
+	$(GO) test -run '^FuzzDecodeRegion$$' -fuzz '^FuzzDecodeRegion$$' -fuzztime=$(FUZZTIME) ./internal/rencode
 
 # Per-package coverage with a hard floor: any listed package under
 # $(COVER_FLOOR)% statement coverage fails the build.

@@ -1,0 +1,48 @@
+// Command qbismlint runs the repo's static-analysis suite (see
+// internal/lint and DESIGN.md §11) over every package under the module
+// root and exits non-zero if any unsuppressed diagnostic remains.
+//
+// Usage:
+//
+//	qbismlint [-C dir] [-v]
+//
+// Diagnostics print as file:line:col: check: message. Suppressed
+// findings (covered by a //lint:ignore <check> <reason> directive on
+// the same or preceding line) are listed only with -v. The final line
+// is always the one-line summary:
+//
+//	qbismlint: N files, M diagnostics, K suppressed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qbism/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root to analyze (directory containing go.mod)")
+	verbose := flag.Bool("v", false, "also list suppressed diagnostics with their reasons")
+	flag.Parse()
+
+	res, err := lint.CheckModule(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qbismlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Suppressed {
+			if *verbose {
+				fmt.Printf("%s [suppressed: %s]\n", d, d.SuppressReason)
+			}
+			continue
+		}
+		fmt.Println(d)
+	}
+	fmt.Println(res.Summary())
+	if len(res.Unsuppressed()) > 0 {
+		os.Exit(1)
+	}
+}

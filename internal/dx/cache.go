@@ -10,10 +10,10 @@ import "sync"
 type Cache struct {
 	mu      sync.Mutex
 	max     int
-	entries map[string]*Field
-	order   []string // LRU order, least recent first
+	entries map[string]*Field // guarded by mu
+	order   []string          // LRU order, least recent first; guarded by mu
 
-	hits, misses uint64
+	hits, misses uint64 // guarded by mu
 }
 
 // NewCache creates a cache holding at most max fields (max <= 0 means 8,

@@ -13,10 +13,12 @@ package lfm
 // CLOCK is chosen over LRU for the same reason most buffer managers
 // choose it: a hit only sets a reference bit (no list surgery), which
 // keeps the hot hit path short under the manager's mutex.
+// pageCache has no mutex of its own: every entry point runs under the
+// owning Manager's lock.
 type pageCache struct {
-	entries []cacheEntry
-	index   map[pageKey]int
-	hand    int
+	entries []cacheEntry    // guarded by Manager.mu
+	index   map[pageKey]int // guarded by Manager.mu
+	hand    int             // guarded by Manager.mu
 }
 
 type pageKey struct {
@@ -41,7 +43,7 @@ func newPageCache(pages int) *pageCache {
 
 // get returns the cached bytes for a page, or nil on a miss. The
 // returned slice is the cache's own storage; callers must copy out of
-// it and never mutate it.
+// it and never mutate it. Callers must hold the Manager's mu.
 func (c *pageCache) get(k pageKey) []byte {
 	i, ok := c.index[k]
 	if !ok {
@@ -53,7 +55,7 @@ func (c *pageCache) get(k pageKey) []byte {
 
 // put inserts a page, evicting by CLOCK sweep if full. data is retained
 // (the caller hands over ownership). Returns whether an existing live
-// entry was evicted.
+// entry was evicted. Callers must hold the Manager's mu.
 func (c *pageCache) put(k pageKey, data []byte) (evicted bool) {
 	if i, ok := c.index[k]; ok {
 		c.entries[i].data = data
@@ -84,7 +86,7 @@ func (c *pageCache) put(k pageKey, data []byte) (evicted bool) {
 }
 
 // invalidateField drops every cached page of a field (on Overwrite,
-// Free, or Corrupt).
+// Free, or Corrupt). Callers must hold the Manager's mu.
 func (c *pageCache) invalidateField(h Handle) {
 	for k, i := range c.index {
 		if k.h == h {
@@ -94,5 +96,6 @@ func (c *pageCache) invalidateField(h Handle) {
 	}
 }
 
-// len returns the number of live cached pages.
+// len returns the number of live cached pages. Callers must hold the
+// Manager's mu.
 func (c *pageCache) len() int { return len(c.index) }

@@ -45,6 +45,7 @@ func NewFileBacked(dev *FileDevice, pageSize int) (*Manager, error) {
 	if err := dev.f.Truncate(int64(m.capacity)); err != nil {
 		return nil, fmt.Errorf("lfm: grow device: %w", err)
 	}
+	//lint:ignore lockguard m was just built by New and is not yet shared with any other goroutine
 	m.dev = nil
 	m.file = dev.f
 	return m, nil

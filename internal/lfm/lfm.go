@@ -106,31 +106,34 @@ type Manager struct {
 	mu        sync.Mutex
 	pageSize  uint64
 	capacity  uint64
-	dev       []byte   // in-memory device (nil when file-backed)
+	dev       []byte   // in-memory device (nil when file-backed); guarded by mu
 	file      *os.File // file-backed device (nil when in-memory)
 	maxOrder  int
-	freeLists [][]uint64 // freeLists[k] = offsets of free blocks of order k
-	fields    map[Handle]field
-	nextID    Handle
-	stats     Stats
+	freeLists [][]uint64       // freeLists[k] = offsets of free blocks of order k; guarded by mu
+	fields    map[Handle]field // guarded by mu
+	nextID    Handle           // guarded by mu
+	stats     Stats            // guarded by mu
 
 	// faults, when non-nil, injects device failures on page reads and
 	// writes (faultsim.ReadErr/PageCorrupt/WriteErr/TornWrite).
+	// guarded by mu
 	faults *faultsim.Injector
 	// verify enables per-page CRC32 checksums: computed on write,
-	// checked on read.
+	// checked on read. guarded by mu
 	verify bool
 	// sums holds each field's per-page CRC32 table while verify is on.
+	// guarded by mu
 	sums map[Handle][]uint32
 	// cache, when non-nil, is the CLOCK page cache; reads consult it
-	// page by page and only misses touch the device.
+	// page by page and only misses touch the device. guarded by mu
 	cache *pageCache
 
 	// traceSpan, when non-nil, receives per-handle I/O spans: each
 	// (handle, operation) pair gets one aggregate child span whose
 	// counters accumulate across operations (see SetSpan).
+	// guarded by mu
 	traceSpan *obs.Span
-	traceOps  map[traceKey]*opAgg
+	traceOps  map[traceKey]*opAgg // guarded by mu
 }
 
 // traceKey identifies one aggregate trace span: per handle, per
@@ -331,6 +334,7 @@ func (m *Manager) orderFor(size uint64) int {
 }
 
 // allocBlock carves a block of the given order out of the free lists.
+// Callers must hold m.mu.
 func (m *Manager) allocBlock(order int) (uint64, error) {
 	k := order
 	for k <= m.maxOrder && len(m.freeLists[k]) == 0 {
@@ -351,6 +355,7 @@ func (m *Manager) allocBlock(order int) (uint64, error) {
 }
 
 // freeBlock returns a block to the free lists, merging buddies.
+// Callers must hold m.mu.
 func (m *Manager) freeBlock(off uint64, order int) {
 	for order < m.maxOrder {
 		size := m.pageSize << order
@@ -486,6 +491,7 @@ func (m *Manager) Allocate(data []byte) (Handle, error) {
 	return h, err
 }
 
+// allocate stores a new long field. Callers must hold m.mu.
 func (m *Manager) allocate(data []byte) (Handle, error) {
 	order := m.orderFor(uint64(len(data)))
 	if order > m.maxOrder {
@@ -523,6 +529,8 @@ func (m *Manager) Overwrite(h Handle, data []byte) error {
 	return err
 }
 
+// overwrite replaces a field's contents in place. Callers must hold
+// m.mu.
 func (m *Manager) overwrite(h Handle, data []byte) error {
 	f, ok := m.fields[h]
 	if !ok {
@@ -617,6 +625,8 @@ type bitFlip struct {
 	mask byte
 }
 
+// readRange reads [off, off+n) of a field, dispatching to the cached or
+// verified paths as configured. Callers must hold m.mu.
 func (m *Manager) readRange(h Handle, f field, off, n uint64) ([]byte, error) {
 	if n == 0 {
 		m.stats.Reads++
@@ -674,7 +684,7 @@ func (m *Manager) readRange(h Handle, f field, off, n uint64) ([]byte, error) {
 // injected in-transfer corruption, verifies each page against the
 // field's checksum table, and slices out the requested range. It counts
 // the same page I/O the unverified path would — verification inspects
-// only pages the read already paid for.
+// only pages the read already paid for. Callers must hold m.mu.
 func (m *Manager) readVerified(h Handle, f field, off, n, j0, j1 uint64, flips []bitFlip) ([]byte, error) {
 	base := j0 * m.pageSize
 	end := (j1 + 1) * m.pageSize
@@ -720,7 +730,8 @@ func (m *Manager) readVerified(h Handle, f field, off, n, j0, j1 uint64, flips [
 // the device, draw one fault decision, verify against the field's
 // checksum table when checksums are on, and insert the page. PageReads
 // therefore counts device transfers only — exactly what the paper's I/O
-// column would be with a buffer pool in front of the LFM.
+// column would be with a buffer pool in front of the LFM. Callers must
+// hold m.mu.
 func (m *Manager) readCached(h Handle, f field, off, n uint64) ([]byte, error) {
 	out := make([]byte, n)
 	j0, j1 := off/m.pageSize, (off+n-1)/m.pageSize
@@ -864,7 +875,7 @@ func (m *Manager) CheckInvariants() error {
 // (pages already written stay written — a torn multi-page write the
 // caller sees as an error); a TornWrite silently stores only the first
 // half of that page's chunk and reports success, to be caught later by
-// checksum verification.
+// checksum verification. Callers must hold m.mu.
 func (m *Manager) devWrite(off uint64, data []byte) error {
 	for len(data) > 0 {
 		n := m.pageSize - off%m.pageSize
@@ -890,6 +901,7 @@ func (m *Manager) devWrite(off uint64, data []byte) error {
 }
 
 // devWriteRaw stores bytes at the device offset with no fault policy.
+// Callers must hold m.mu.
 func (m *Manager) devWriteRaw(off uint64, data []byte) error {
 	if m.file != nil {
 		if _, err := m.file.WriteAt(data, int64(off)); err != nil {
@@ -901,7 +913,7 @@ func (m *Manager) devWriteRaw(off uint64, data []byte) error {
 	return nil
 }
 
-// devRead fills out from the device offset.
+// devRead fills out from the device offset. Callers must hold m.mu.
 func (m *Manager) devRead(off uint64, out []byte) error {
 	if m.file != nil {
 		if _, err := m.file.ReadAt(out, int64(off)); err != nil {

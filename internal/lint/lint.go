@@ -1,0 +1,218 @@
+// Package lint is qbism's repo-aware static-analysis suite: a
+// zero-dependency, vet-style analyzer driver plus the five analyzers
+// that machine-check the invariants earlier PRs introduced by
+// convention (deterministic simulation, span pairing, mutex guard
+// discipline, error-chain wrapping, operator protocol). See DESIGN.md
+// §11.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant. Match selects the packages it
+// applies to; Run reports diagnostics through the Pass.
+type Analyzer struct {
+	Name  string
+	Doc   string
+	Match func(pkg *Package) bool
+	Run   func(pass *Pass)
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos            token.Position
+	Check          string // analyzer name
+	Message        string
+	Suppressed     bool
+	SuppressReason string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// A Pass is one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+	sup   *suppressions
+}
+
+// Report records a diagnostic at pos. If an applicable
+// //lint:ignore directive covers it, the diagnostic is kept but marked
+// suppressed.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	d := Diagnostic{
+		Pos:     position,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	}
+	if reason, ok := p.sup.covers(position, p.Analyzer.Name); ok {
+		d.Suppressed = true
+		d.SuppressReason = reason
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// Result is the outcome of running analyzers over a package set.
+type Result struct {
+	Files       int
+	Diagnostics []Diagnostic // all findings, suppressed included, sorted by position
+}
+
+// Unsuppressed returns the findings not covered by an ignore directive.
+func (r *Result) Unsuppressed() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// NumSuppressed counts the findings covered by ignore directives.
+func (r *Result) NumSuppressed() int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Suppressed {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary renders the one-line log summary.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("qbismlint: %d files, %d diagnostics, %d suppressed",
+		r.Files, len(r.Unsuppressed()), r.NumSuppressed())
+}
+
+// Analyzers returns the full analyzer suite in run order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		SpanPairAnalyzer,
+		LockGuardAnalyzer,
+		ErrWrapAnalyzer,
+		OpProtoAnalyzer,
+	}
+}
+
+// Check runs the given analyzers over the packages and returns all
+// diagnostics, sorted by file/line/column. Malformed ignore directives
+// (missing check name or reason) are themselves diagnostics.
+func Check(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		res.Files += len(pkg.Files)
+		sup := collectSuppressions(pkg, &diags)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, sup: sup}
+			a.Run(pass)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	res.Diagnostics = diags
+	return res
+}
+
+// CheckModule loads every package under moduleRoot and runs the full
+// analyzer suite.
+func CheckModule(moduleRoot string) (*Result, error) {
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	return Check(pkgs, Analyzers()), nil
+}
+
+// ignoreDirective is one parsed //lint:ignore comment. It covers
+// diagnostics for the named check on its own line and on the line
+// immediately after (so it can sit above the offending statement or at
+// the end of its line).
+type ignoreDirective struct {
+	file   string
+	line   int
+	check  string
+	reason string
+}
+
+type suppressions struct {
+	directives []ignoreDirective
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions scans a package's comments for //lint:ignore
+// directives. Directives missing a check name or a reason are reported
+// as diagnostics (an unreasoned suppression is itself a violation).
+func collectSuppressions(pkg *Package, diags *[]Diagnostic) *suppressions {
+	sup := &suppressions{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				check, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if check == "" || reason == "" {
+					*diags = append(*diags, Diagnostic{
+						Pos:     pos,
+						Check:   "ignore",
+						Message: "malformed //lint:ignore: want \"//lint:ignore <check> <reason>\"",
+					})
+					continue
+				}
+				sup.directives = append(sup.directives, ignoreDirective{
+					file:   pos.Filename,
+					line:   pos.Line,
+					check:  check,
+					reason: reason,
+				})
+			}
+		}
+	}
+	return sup
+}
+
+// covers reports whether an ignore directive applies to a diagnostic of
+// the given check at the given position, and returns its reason.
+func (s *suppressions) covers(pos token.Position, check string) (string, bool) {
+	for _, d := range s.directives {
+		if d.file != pos.Filename || d.check != check {
+			continue
+		}
+		if pos.Line == d.line || pos.Line == d.line+1 {
+			return d.reason, true
+		}
+	}
+	return "", false
+}

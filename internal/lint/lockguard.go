@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuardAnalyzer enforces the `// guarded by <mu>` field annotation
+// convention from PR 2/4: a struct field whose declaration carries a
+// "guarded by X" comment may only be touched from functions that
+//
+//   - lock that mutex (call <guard>.Lock() or <guard>.RLock()), or
+//   - are documented locked helpers — their doc comment contains
+//     "hold"/"holds"/"holding" together with the guard name or the word
+//     "lock" (e.g. "Callers must hold m.mu."), or
+//   - operate on a fresh, unshared object: the receiver or base
+//     variable was assigned from a composite literal in the same
+//     function (constructors).
+//
+// The guard name is the last dotted component of the annotation
+// ("Manager.mu" matches a Lock call on any selector ending in .mu).
+var LockGuardAnalyzer = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `// guarded by <mu>` are only touched under that mutex or in documented locked helpers",
+	Run:  runLockGuard,
+}
+
+var guardedByRE = regexp.MustCompile(`(?i)guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+var holdDocRE = regexp.MustCompile(`(?i)\bhold(s|ing)?\b`)
+
+// guardedField is one annotated field of one struct type.
+type guardedField struct {
+	fieldObj  *types.Var
+	guard     string // annotation text, e.g. "mu" or "Manager.mu"
+	guardName string // last dotted component, e.g. "mu"
+}
+
+func runLockGuard(pass *Pass) {
+	fields := collectGuardedFields(pass)
+	if len(fields) == 0 {
+		return
+	}
+	byObj := make(map[*types.Var]*guardedField, len(fields))
+	for _, gf := range fields {
+		byObj[gf.fieldObj] = gf
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, fd, byObj)
+		}
+	}
+}
+
+// collectGuardedFields finds struct fields whose declaration line or
+// doc comment contains "guarded by <name>".
+func collectGuardedFields(pass *Pass) []*guardedField {
+	var out []*guardedField
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				guard := guardAnnotation(fld)
+				if guard == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					obj, ok := pass.Pkg.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					parts := strings.Split(guard, ".")
+					out = append(out, &guardedField{
+						fieldObj:  obj,
+						guard:     guard,
+						guardName: parts[len(parts)-1],
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return strings.TrimRight(m[1], ".")
+		}
+	}
+	return ""
+}
+
+// checkGuardedAccesses reports selector accesses to guarded fields from
+// functions that neither lock the guard nor are documented holders.
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, byObj map[*types.Var]*guardedField) {
+	locked := lockedGuards(pass, fd)
+	docText := ""
+	if fd.Doc != nil {
+		docText = fd.Doc.Text()
+	}
+	docHolds := holdDocRE.MatchString(docText)
+	fresh := freshLocals(pass, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		gf, ok := byObj[obj]
+		if !ok {
+			return true
+		}
+		if locked[gf.guardName] {
+			return true
+		}
+		if docHolds && docNamesGuard(docText, gf.guardName) {
+			return true
+		}
+		if base, ok := sel.X.(*ast.Ident); ok {
+			if v, ok := pass.Pkg.Info.Uses[base].(*types.Var); ok && fresh[v] {
+				return true // unshared object under construction
+			}
+		}
+		pass.Report(sel.Sel.Pos(), "field %s is guarded by %s, but %s neither locks it nor is documented as a locked helper",
+			obj.Name(), gf.guard, funcLabel(fd))
+		return true
+	})
+}
+
+// docNamesGuard reports whether a doc comment names the guard (as a
+// whole word, so guard "mu" does not match inside "must") or speaks of
+// "the lock" generically.
+func docNamesGuard(doc, guardName string) bool {
+	re := regexp.MustCompile(`(?i)\b` + regexp.QuoteMeta(guardName) + `\b`)
+	if re.MatchString(doc) {
+		return true
+	}
+	return regexp.MustCompile(`(?i)\block\b`).MatchString(doc)
+}
+
+// lockedGuards returns the set of guard names this function locks:
+// any call of the form <expr>.<guard>.Lock() or .RLock(), or a direct
+// <guard>.Lock() when the guard is itself in scope.
+func lockedGuards(pass *Pass, fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr:
+			out[x.Sel.Name] = true
+		case *ast.Ident:
+			out[x.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// freshLocals returns local variables assigned from a composite literal
+// (or its address) in this function: objects no other goroutine can
+// see yet, so constructors may write guarded fields lock-free.
+func freshLocals(pass *Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if u, ok := rhs.(*ast.UnaryExpr); ok {
+				rhs = u.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); !ok {
+				continue
+			}
+			if v, ok := pass.Pkg.Info.Defs[id].(*types.Var); ok {
+				out[v] = true
+			} else if v, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}

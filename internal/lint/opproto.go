@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OpProtoAnalyzer enforces Volcano operator-protocol discipline in the
+// sdb executor (PR 3): for every struct implementing the operator
+// protocol (open() error / next() (row, bool, error) / close()),
+//
+//   - each operator-typed child field is opened in open() — and never
+//     pulled with next() before its open() call,
+//   - each child is closed in close() (close on every path: close
+//     methods have no early exits to hide behind),
+//   - next() updates the rowsOut counter where rows flow, so EXPLAIN
+//     ANALYZE and the obs per-operator spans stay truthful.
+var OpProtoAnalyzer = &Analyzer{
+	Name: "opproto",
+	Doc:  "sdb operators: open children before next, close on every path, count rows where they flow",
+	Match: func(pkg *Package) bool {
+		return pkg.Name == "sdb"
+	},
+	Run: runOpProto,
+}
+
+func runOpProto(pass *Pass) {
+	ops := collectOperators(pass)
+	for _, op := range ops {
+		checkOperator(pass, op)
+	}
+}
+
+// opImpl is one struct type implementing the operator protocol, with
+// its lifecycle methods and operator-typed child fields.
+type opImpl struct {
+	name       string
+	openFn     *ast.FuncDecl
+	nextFn     *ast.FuncDecl
+	closeFn    *ast.FuncDecl
+	childNames []string
+}
+
+// collectOperators finds named structs with open/next/close methods of
+// the operator shapes.
+func collectOperators(pass *Pass) []*opImpl {
+	impls := make(map[string]*opImpl)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := recvTypeName(fd)
+			if recv == "" {
+				continue
+			}
+			impl := impls[recv]
+			if impl == nil {
+				impl = &opImpl{name: recv}
+				impls[recv] = impl
+			}
+			switch fd.Name.Name {
+			case "open":
+				if isOpenSig(fd.Type) {
+					impl.openFn = fd
+				}
+			case "next":
+				if isNextSig(fd.Type) {
+					impl.nextFn = fd
+				}
+			case "close":
+				if isCloseSig(fd.Type) {
+					impl.closeFn = fd
+				}
+			}
+		}
+	}
+	var out []*opImpl
+	for name, impl := range impls {
+		if impl.openFn == nil || impl.nextFn == nil || impl.closeFn == nil {
+			continue
+		}
+		impl.childNames = operatorFields(pass, name)
+		out = append(out, impl)
+	}
+	return out
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func isOpenSig(ft *ast.FuncType) bool {
+	return ft.Params.NumFields() == 0 && ft.Results.NumFields() == 1
+}
+
+func isNextSig(ft *ast.FuncType) bool {
+	return ft.Params.NumFields() == 0 && ft.Results.NumFields() == 3
+}
+
+func isCloseSig(ft *ast.FuncType) bool {
+	return ft.Params.NumFields() == 0 && ft.Results.NumFields() == 0
+}
+
+// operatorFields returns the names of fields of the named struct whose
+// type is an interface carrying open/next/close (i.e. child operators).
+func operatorFields(pass *Pass, structName string) []string {
+	obj := pass.Pkg.Types.Scope().Lookup(structName)
+	if obj == nil {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isOperatorIface(f.Type()) {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+func isOperatorIface(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	has := map[string]bool{}
+	for i := 0; i < iface.NumMethods(); i++ {
+		has[iface.Method(i).Name()] = true
+	}
+	return has["open"] && has["next"] && has["close"]
+}
+
+func checkOperator(pass *Pass, op *opImpl) {
+	for _, child := range op.childNames {
+		openPos := fieldMethodCalls(op.openFn, child, "open")
+		nextInOpen := fieldMethodCalls(op.openFn, child, "next")
+		if len(openPos) == 0 {
+			pass.Report(op.openFn.Name.Pos(), "%s.open does not open child %q; next on an unopened child breaks the Volcano protocol", op.name, child)
+		} else if len(nextInOpen) > 0 && nextInOpen[0] < openPos[0] {
+			pass.Report(op.openFn.Name.Pos(), "%s.open pulls child %q with next before opening it", op.name, child)
+		}
+		if len(fieldMethodCalls(op.closeFn, child, "close")) == 0 {
+			pass.Report(op.closeFn.Name.Pos(), "%s.close does not close child %q; the child leaks its resources", op.name, child)
+		}
+	}
+	if !touchesField(op.nextFn, "rowsOut") {
+		pass.Report(op.nextFn.Name.Pos(), "%s.next never updates rowsOut; EXPLAIN ANALYZE and operator spans will report zero rows", op.name)
+	}
+}
+
+// fieldMethodCalls returns source positions of calls of the form
+// <recv>.<field>.<method>(...) inside fd, in source order.
+func fieldMethodCalls(fd *ast.FuncDecl, field, method string) []int {
+	var out []int
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || inner.Sel.Name != field {
+			return true
+		}
+		out = append(out, int(call.Pos()))
+		return true
+	})
+	return out
+}
+
+// touchesField reports whether fd's body increments or assigns a
+// selector whose final component is the named field.
+func touchesField(fd *ast.FuncDecl, field string) bool {
+	found := false
+	check := func(e ast.Expr) {
+		if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == field {
+			found = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			check(n.X)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				check(lhs)
+			}
+		}
+		return !found
+	})
+	return found
+}

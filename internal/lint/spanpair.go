@@ -1,0 +1,473 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanPairAnalyzer enforces the obs span lifecycle introduced in PR 4:
+// every span started with Tracer.Start or Span.Child must be ended on
+// all paths of the function that created it (lostcancel-style).
+//
+// A created span is exempt when it escapes the function — returned,
+// passed to another call, stored in a field or composite literal,
+// copied to another variable, or captured by a non-deferred closure —
+// because ownership transfers with it (e.g. sdb.Rows ends its spans in
+// Close). Spans ended by `defer sp.End()` (directly or inside a
+// deferred closure) are ended on every path by construction.
+var SpanPairAnalyzer = &Analyzer{
+	Name: "spanpair",
+	Doc:  "every obs span started must be ended on all paths of the creating function",
+	Run:  runSpanPair,
+}
+
+const obsSpanType = "*qbism/internal/obs.Span"
+
+// isSpanCreation reports whether call starts a new span: a Start or
+// Child method call whose static result type is *obs.Span.
+func isSpanCreation(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Start" && sel.Sel.Name != "Child") {
+		return false
+	}
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return tv.Type.String() == obsSpanType
+}
+
+func runSpanPair(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkSpanFunc(pass, fd.Body)
+			}
+		}
+	}
+}
+
+func checkSpanFunc(pass *Pass, body *ast.BlockStmt) {
+	// Find each span creation directly in this function (not inside
+	// nested function literals, which are separate scopes analyzed by
+	// their own creations' rules).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSpanCreation(pass.Pkg, call) {
+			return true
+		}
+		checkSpanCreation(pass, body, call)
+		return true
+	})
+}
+
+// checkSpanCreation classifies one span-creating call and, when the
+// span stays function-local, verifies End is reached on all paths.
+func checkSpanCreation(pass *Pass, body *ast.BlockStmt, creation *ast.CallExpr) {
+	parents := nodePath(body, creation)
+	if len(parents) == 0 {
+		return
+	}
+	parent := parents[len(parents)-1]
+
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// Chained use: Start(...).End() is fine; any other chained
+		// method leaves the span unended and unreachable.
+		if p.Sel.Name == "End" {
+			return
+		}
+		pass.Report(creation.Pos(), "span from %s is used via a chained call and can never be ended; assign it and call End", creationName(creation))
+		return
+	case *ast.ExprStmt:
+		pass.Report(creation.Pos(), "result of %s discarded; the span can never be ended", creationName(creation))
+		return
+	case *ast.AssignStmt:
+		if len(p.Lhs) != 1 || len(p.Rhs) != 1 {
+			return // multi-assign: too unusual to model, let it pass
+		}
+		id, ok := p.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			if !ok {
+				return // field/index target: span escapes into a structure
+			}
+			pass.Report(creation.Pos(), "result of %s assigned to _; the span can never be ended", creationName(creation))
+			return
+		}
+		obj := pass.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		checkSpanVar(pass, body, p, creation, obj)
+	case *ast.ValueSpec:
+		if len(p.Names) == 1 {
+			if obj := pass.Pkg.Info.Defs[p.Names[0]]; obj != nil {
+				if stmt := enclosingStmt(parents); stmt != nil {
+					checkSpanVar(pass, body, stmt, creation, obj)
+				}
+			}
+		}
+	default:
+		// Creation used as a call argument, return value, composite
+		// literal element, etc.: the span escapes, ownership moves.
+	}
+}
+
+// checkSpanVar analyzes a span held in a local variable. If every use
+// of the variable is a direct method call, the span cannot escape and
+// End must be provably reached on all paths after the creation.
+func checkSpanVar(pass *Pass, body *ast.BlockStmt, creationStmt ast.Stmt, creation *ast.CallExpr, obj types.Object) {
+	esc := &spanUses{pass: pass, obj: obj}
+	esc.scan(body)
+	if esc.escapes {
+		return
+	}
+	if esc.deferEnded {
+		return
+	}
+	fl := &spanFlow{pass: pass, obj: obj, creationStmt: creationStmt, creation: creation}
+	st, term := fl.stmts(body.List, spanNotCreated)
+	if st == spanLive && !term {
+		pass.Report(creation.Pos(), "span from %s may reach the end of the function without End", creationName(creation))
+	}
+}
+
+// spanUses classifies every use of a span variable in the function.
+type spanUses struct {
+	pass       *Pass
+	obj        types.Object
+	escapes    bool // used other than as a method receiver
+	deferEnded bool // defer sp.End() or deferred closure calling sp.End()
+}
+
+func (u *spanUses) scan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if u.escapes {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if u.callEnds(n.Call) {
+				u.deferEnded = true
+				return false
+			}
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				// defer func() { ... sp.End() ... }()
+				if u.closureEnds(fl) {
+					u.deferEnded = true
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			// Non-deferred closure capturing the span: ownership may
+			// transfer to the closure (e.g. cleanup callbacks).
+			if u.usesObj(n) {
+				u.escapes = true
+			}
+			return false
+		case *ast.Ident:
+			if u.pass.Pkg.Info.Uses[n] != u.obj {
+				return true
+			}
+			// A use is safe only as the receiver of a method call.
+			if !u.isMethodReceiver(n, body) {
+				u.escapes = true
+			}
+		}
+		return true
+	})
+}
+
+// callEnds reports whether call is sp.End() on our object.
+func (u *spanUses) callEnds(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && u.pass.Pkg.Info.Uses[id] == u.obj
+}
+
+func (u *spanUses) closureEnds(fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && u.callEnds(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (u *spanUses) usesObj(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && u.pass.Pkg.Info.Uses[id] == u.obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isMethodReceiver reports whether ident id appears as the X of a
+// SelectorExpr that is the Fun of a CallExpr (sp.Method(...)).
+func (u *spanUses) isMethodReceiver(id *ast.Ident, body *ast.BlockStmt) bool {
+	parents := nodePath(body, id)
+	if len(parents) < 2 {
+		return false
+	}
+	sel, ok := parents[len(parents)-1].(*ast.SelectorExpr)
+	if !ok || sel.X != id {
+		return false
+	}
+	call, ok := parents[len(parents)-2].(*ast.CallExpr)
+	return ok && call.Fun == sel
+}
+
+// spanFlow is a statement-level abstract interpreter tracking one
+// span's lifecycle through the function.
+type spanState int
+
+const (
+	spanNotCreated spanState = iota
+	spanLive
+	spanEnded
+)
+
+func mergeSpan(a, b spanState) spanState {
+	// A path where the span is live dominates: "ended on all paths"
+	// fails if any path leaves it live.
+	if a == spanLive || b == spanLive {
+		return spanLive
+	}
+	if a == spanEnded || b == spanEnded {
+		return spanEnded
+	}
+	return spanNotCreated
+}
+
+type spanFlow struct {
+	pass         *Pass
+	obj          types.Object
+	creationStmt ast.Stmt
+	creation     *ast.CallExpr
+}
+
+// stmts folds the flow over a statement list; term reports whether the
+// list always terminates (returns/panics) before falling through.
+func (fl *spanFlow) stmts(list []ast.Stmt, st spanState) (spanState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = fl.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (fl *spanFlow) stmt(s ast.Stmt, st spanState) (spanState, bool) {
+	if s == fl.creationStmt {
+		return spanLive, false
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if fl.isEndCall(call) && st == spanLive {
+				return spanEnded, false
+			}
+			if fl.isPanicOrFatal(call) {
+				return st, true
+			}
+		}
+	case *ast.ReturnStmt:
+		if st == spanLive {
+			fl.pass.Report(s.Pos(), "span from %s (started at %s) is not ended on this return path",
+				creationName(fl.creation), fl.pass.Pkg.Fset.Position(fl.creation.Pos()))
+		}
+		return st, true
+	case *ast.BlockStmt:
+		return fl.stmts(s.List, st)
+	case *ast.IfStmt:
+		thenSt, thenTerm := fl.stmts(s.Body.List, st)
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = fl.stmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return mergeSpan(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		bodySt, _ := fl.stmts(s.Body.List, st)
+		return mergeSpan(st, bodySt), false
+	case *ast.RangeStmt:
+		bodySt, _ := fl.stmts(s.Body.List, st)
+		return mergeSpan(st, bodySt), false
+	case *ast.SwitchStmt:
+		return fl.caseClauses(s.Body, st, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		return fl.caseClauses(s.Body, st, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		return fl.commClauses(s.Body, st)
+	case *ast.LabeledStmt:
+		return fl.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; the merged
+		// loop/switch state already includes the pre-body state.
+		return st, true
+	case *ast.AssignStmt:
+		// sp reassigned while live would lose the old span; out of
+		// scope here — escape analysis already rejected other writes.
+	case *ast.DeferStmt, *ast.GoStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+	}
+	return st, false
+}
+
+func (fl *spanFlow) caseClauses(body *ast.BlockStmt, st spanState, hasDefault bool) (spanState, bool) {
+	merged := spanState(-1)
+	allTerm := true
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		cs, cterm := fl.stmts(cc.Body, st)
+		if !cterm {
+			allTerm = false
+			if merged < 0 {
+				merged = cs
+			} else {
+				merged = mergeSpan(merged, cs)
+			}
+		}
+	}
+	if !hasDefault {
+		// No default: the switch may fall through unchanged.
+		allTerm = false
+		if merged < 0 {
+			merged = st
+		} else {
+			merged = mergeSpan(merged, st)
+		}
+	}
+	if allTerm || merged < 0 {
+		return st, allTerm
+	}
+	return merged, false
+}
+
+func (fl *spanFlow) commClauses(body *ast.BlockStmt, st spanState) (spanState, bool) {
+	merged := spanState(-1)
+	allTerm := true
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cs, cterm := fl.stmts(cc.Body, st)
+		if !cterm {
+			allTerm = false
+			if merged < 0 {
+				merged = cs
+			} else {
+				merged = mergeSpan(merged, cs)
+			}
+		}
+	}
+	if allTerm || merged < 0 {
+		return st, allTerm
+	}
+	return merged, false
+}
+
+func (fl *spanFlow) isEndCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && fl.pass.Pkg.Info.Uses[id] == fl.obj
+}
+
+// isPanicOrFatal reports calls that never return.
+func (fl *spanFlow) isPanicOrFatal(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Fatal", "Fatalf", "Exit", "Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// creationName renders the called expression for messages ("sp.Child"
+// or "tracer.Start").
+func creationName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	return "span start"
+}
+
+// nodePath returns the chain of nodes from just below root down to the
+// direct parent of target, ending with the parent (i.e. last element is
+// target's immediate parent). Empty if target isn't under root.
+func nodePath(root ast.Node, target ast.Node) []ast.Node {
+	var stack, found []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if n == target {
+			found = append([]ast.Node(nil), stack...)
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return found
+}
+
+// enclosingStmt returns the innermost ast.Stmt in a parent chain.
+func enclosingStmt(parents []ast.Node) ast.Stmt {
+	for i := len(parents) - 1; i >= 0; i-- {
+		if s, ok := parents[i].(ast.Stmt); ok {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+// Fixture: malformed //lint:ignore directives are diagnostics in their
+// own right.
+package badignore
+
+//lint:ignore determinism
+func missingReason() {}
+
+//lint:ignore
+func missingEverything() {}
+
+//lint:ignore spanpair a well-formed directive is not a diagnostic
+func wellFormed() {}

@@ -1,0 +1,37 @@
+// Fixture for the lockguard analyzer, split across two files so the
+// cross-file type-info path (annotation in a.go, access in b.go) is
+// exercised.
+package lockfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // unannotated: free-for-all
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// bump adds delta. Callers must hold mu.
+func (c *counter) bump(delta int) {
+	c.n += delta
+}
+
+func (c *counter) racy() {
+	c.n++ // want "field n is guarded by mu"
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7 // fresh unshared object: constructors may write lock-free
+	return c
+}
+
+func (c *counter) unguardedFieldIsFine() {
+	c.m++
+}

@@ -1,0 +1,16 @@
+package lockfix
+
+func sneakyRead(c *counter) int {
+	return c.n // want "field n is guarded by mu"
+}
+
+func lockedRead(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func auditedRead(c *counter) int {
+	//lint:ignore lockguard fixture exercises the suppression path
+	return c.n
+}

@@ -1,0 +1,107 @@
+// Fixture for the spanpair analyzer. Uses the real obs package so the
+// analyzer's type check (*qbism/internal/obs.Span results) is exercised
+// across package boundaries.
+package spanfix
+
+import (
+	"errors"
+
+	"qbism/internal/obs"
+)
+
+var errFixture = errors.New("fixture")
+
+func cond() bool { return false }
+
+func deferEnd(tr *obs.Tracer) {
+	sp := tr.Start("q")
+	defer sp.End()
+	sp.SetInt("k", 1)
+}
+
+func deferClosureEnd(tr *obs.Tracer) {
+	sp := tr.Start("q")
+	defer func() { sp.End() }()
+	c := sp.Child("c")
+	c.End()
+}
+
+func endOnAllPaths(tr *obs.Tracer) error {
+	sp := tr.Start("q")
+	if cond() {
+		sp.End()
+		return errFixture
+	}
+	sp.End()
+	return nil
+}
+
+func missingOnErrorPath(tr *obs.Tracer) error {
+	sp := tr.Start("q")
+	if cond() {
+		return errFixture // want "not ended on this return path"
+	}
+	sp.End()
+	return nil
+}
+
+func discarded(tr *obs.Tracer) {
+	tr.Start("q") // want "result of tr.Start discarded"
+}
+
+func assignedToBlank(tr *obs.Tracer) {
+	_ = tr.Start("q") // want "assigned to _"
+}
+
+func chainedNonEnd(sp *obs.Span) {
+	sp.Child("c").SetInt("k", 1) // want "used via a chained call"
+}
+
+func chainedEndIsFine(sp *obs.Span) {
+	sp.Child("c").End()
+}
+
+func fallsOffEnd(tr *obs.Tracer) {
+	sp := tr.Start("q") // want "may reach the end of the function without End"
+	if cond() {
+		sp.End()
+	}
+}
+
+func escapesByReturn(tr *obs.Tracer) *obs.Span {
+	sp := tr.Start("q")
+	return sp // ownership moves to the caller
+}
+
+func escapesByCall(tr *obs.Tracer) {
+	sp := tr.Start("q")
+	adopt(sp)
+}
+
+func adopt(sp *obs.Span) { sp.End() }
+
+func suppressedLeak(tr *obs.Tracer) {
+	//lint:ignore spanpair fixture exercises the suppression path
+	sp := tr.Start("q")
+	if cond() {
+		sp.End()
+	}
+}
+
+func switchEnds(tr *obs.Tracer, n int) {
+	sp := tr.Start("q")
+	switch n {
+	case 0:
+		sp.End()
+	default:
+		sp.End()
+	}
+}
+
+func switchMissingDefault(tr *obs.Tracer, n int) {
+	sp := tr.Start("q") // want "may reach the end of the function without End"
+	switch n {
+	case 0:
+		sp.End()
+	}
+}

@@ -115,9 +115,9 @@ type Link struct {
 	model costmodel.Model
 
 	mu       sync.Mutex
-	handlers map[string]SpanHandler
-	stats    Stats
-	faults   *faultsim.Injector
+	handlers map[string]SpanHandler // guarded by mu
+	stats    Stats                  // guarded by mu
+	faults   *faultsim.Injector     // guarded by mu
 }
 
 // NewLink creates a link priced with the given model.

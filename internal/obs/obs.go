@@ -82,12 +82,12 @@ type Span struct {
 	tracer *Tracer
 
 	mu       sync.Mutex
-	name     string
-	start    time.Duration
-	end      time.Duration
-	ended    bool
-	attrs    []Attr
-	children []*Span
+	name     string        // immutable after construction
+	start    time.Duration // immutable after construction
+	end      time.Duration // guarded by mu
+	ended    bool          // guarded by mu
+	attrs    []Attr        // guarded by mu
+	children []*Span       // guarded by mu
 }
 
 // Name returns the span's name ("" on nil).

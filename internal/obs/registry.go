@@ -16,8 +16,8 @@ import (
 // enabled checks.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -130,10 +130,10 @@ func (c *Counter) Value() int64 {
 // bucket, plus a running sum and count. Nil-safe.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []float64
-	counts []uint64 // len(bounds)+1; last is +Inf
-	sum    float64
-	count  uint64
+	bounds []float64 // guarded by mu
+	counts []uint64  // len(bounds)+1; last is +Inf; guarded by mu
+	sum    float64   // guarded by mu
+	count  uint64    // guarded by mu
 }
 
 // Observe records one value.

@@ -21,9 +21,9 @@ type SlowEntry struct {
 // concurrent use; a nil *SlowLog drops everything.
 type SlowLog struct {
 	mu    sync.Mutex
-	buf   []SlowEntry
-	next  int
-	total uint64
+	buf   []SlowEntry // guarded by mu
+	next  int         // guarded by mu
+	total uint64      // guarded by mu
 }
 
 // NewSlowLog returns a ring holding up to capacity entries

@@ -125,7 +125,7 @@ func (s *System) registerMedicalServer() {
 		}
 		var spec QuerySpec
 		if err := json.Unmarshal(specJSON, &spec); err != nil {
-			return nil, fmt.Errorf("qbism: bad query spec: %v", err)
+			return nil, fmt.Errorf("qbism: bad query spec: %w", err)
 		}
 		if sp != nil {
 			// Traced handlers run one at a time: the LFM has a single

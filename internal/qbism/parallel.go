@@ -211,11 +211,13 @@ func (s *System) Table4OneParallel(bandLo, bandHi int, encoding string, workers 
 		return Table4Row{}, fmt.Errorf("qbism: need at least 2 PET studies, have %d", len(pets))
 	}
 	pages0 := s.LFM.Stats().PageReads
+	//lint:ignore determinism CPUMeasured is deliberately real wall time (Table 4's measured-CPU column); the replayable clock lives in RealSim/BatchSim
 	start := time.Now()
 	out, err := s.ConsistentBandRegion(pets, bandLo, bandHi, encoding, workers)
 	if err != nil {
 		return Table4Row{}, err
 	}
+	//lint:ignore determinism pairs with the wall-clock start above; simulated time is reported separately in RealSim
 	cpu := time.Since(start)
 	pages := s.LFM.Stats().PageReads - pages0
 	return Table4Row{

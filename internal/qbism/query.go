@@ -304,7 +304,7 @@ func splitResponse(resp []byte) (*QueryMeta, []byte, error) {
 	}
 	var meta QueryMeta
 	if err := json.Unmarshal(header, &meta); err != nil {
-		return nil, nil, fmt.Errorf("qbism: bad response header: %v", err)
+		return nil, nil, fmt.Errorf("qbism: bad response header: %w", err)
 	}
 	return &meta, blob, nil
 }

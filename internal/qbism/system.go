@@ -302,7 +302,7 @@ func (s *System) createSchema() error {
 	}
 	for _, stmt := range ddl {
 		if _, err := s.DB.Exec(stmt); err != nil {
-			return fmt.Errorf("qbism: schema: %v", err)
+			return fmt.Errorf("qbism: schema: %w", err)
 		}
 	}
 	return nil

@@ -199,6 +199,14 @@ func Decode(data []byte) (*region.Region, error) {
 		}
 		return region.FromRuns(curve, runs)
 	case Elias, EliasDelta, Varint:
+		// Every delta costs at least one encoded bit, so a count beyond
+		// the payload's bit length is corrupt. Checking here (not just
+		// against curve.Length() in decodeDeltas) matters on huge
+		// curves, where a forged 60-bit count would pass the positions
+		// bound and drive the run preallocation out of range.
+		if count > uint64(len(body))*8 {
+			return nil, fmt.Errorf("%w: %d deltas in a %d-byte body", ErrCorrupt, count, len(body))
+		}
 		r := bitio.NewReader(body, -1)
 		read := func() (uint64, error) {
 			switch m {
@@ -218,6 +226,9 @@ func Decode(data []byte) (*region.Region, error) {
 		k := body[0]
 		if k > 63 {
 			return nil, fmt.Errorf("%w: rice parameter %d", ErrCorrupt, k)
+		}
+		if count > uint64(len(body)-1)*8 {
+			return nil, fmt.Errorf("%w: %d deltas in a %d-byte body", ErrCorrupt, count, len(body)-1)
 		}
 		r := bitio.NewReader(body[1:], -1)
 		return decodeDeltas(curve, count, func() (uint64, error) { return readRice(r, k) })
