@@ -2,24 +2,26 @@
 # (qbismlint — determinism/spanpair/lockguard/errwrap/opproto, see
 # DESIGN.md §11), the full test suite under the race detector (the
 # chaos, netsim, and planner-equivalence concurrency tests are required
-# to be race-clean), per-package coverage floors, a fuzz smoke pass,
-# and a one-iteration perfbench smoke run. Run `make check` before
-# merging; `make bench` regenerates BENCH_PR4.json.
+# to be race-clean), the degraded-shard chaos suite (make chaos),
+# per-package coverage floors, a fuzz smoke pass, and a one-iteration
+# perfbench smoke run. Run `make check` before merging; `make bench`
+# regenerates BENCH_PR6.json through the versioned envelope in
+# internal/bench.
 
 GO ?= go
 
 # Packages with an enforced coverage floor, and the floor itself. These
 # are the layers the observability work leans on hardest; keep them
 # honest.
-COVER_PKGS ?= ./internal/obs ./internal/lfm ./internal/sdb ./internal/lint
+COVER_PKGS ?= ./internal/obs ./internal/lfm ./internal/sdb ./internal/lint ./internal/cluster ./internal/bench
 COVER_FLOOR ?= 70.0
 
 # Per-target budget for the fuzz smoke pass.
 FUZZTIME ?= 5s
 
-.PHONY: check vet build lint test race cover fuzz-smoke bench bench-smoke
+.PHONY: check vet build lint test race cover chaos fuzz-smoke bench bench-smoke
 
-check: vet build lint race cover fuzz-smoke bench-smoke
+check: vet build lint race chaos cover fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +41,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The fault-injection suites under the race detector: the single-node
+# chaos tests and the degraded-shard cluster suite (dead, slow,
+# corrupt, and flapping nodes; every query byte-identical or a typed
+# partial). All seeds are fixed in the tests themselves, so this run is
+# deterministic — a failure always replays.
+chaos:
+	$(GO) test -race -run 'Chaos|Cluster|Degraded|Retry|Breaker|Partial|Partition' ./internal/qbism ./internal/cluster
 
 # Short native-fuzz runs over the checked-in seed corpora: the sdb SQL
 # parser and the rencode REGION decoder, $(FUZZTIME) each.
@@ -64,12 +74,13 @@ cover:
 	exit $$fail
 
 # Full performance sweep: the Go micro-benchmarks, then the end-to-end
-# perfbench run that writes BENCH_PR4.json (pages read, cache hit rate,
+# perfbench run that writes BENCH_PR6.json (pages read, cache hit rate,
 # ns/op, serial-vs-parallel speedup on both clocks, the planner's
-# pushdown-on/off page A/B, and the tracing overhead A/B).
+# pushdown-on/off page A/B, the tracing overhead A/B, and the cluster's
+# failover/partial-result behavior under dead nodes).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .  ./internal/sfc
-	$(GO) run ./cmd/perfbench -out BENCH_PR4.json
+	$(GO) run ./cmd/perfbench -out BENCH_PR6.json
 
 # One tiny iteration through every perfbench measurement — catches read
 # path regressions in CI without the full run's cost.

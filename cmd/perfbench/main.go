@@ -1,8 +1,10 @@
 // Command perfbench measures the read path and the SQL planner end to
 // end — run pruning, gap coalescing, the LFM page cache, the parallel
 // multi-study executor, predicate pushdown A/B, and the observability
-// layer's overhead — and writes a machine-readable summary to
-// BENCH_PR4.json.
+// layer's overhead, plus the sharded cluster's resilience (failover
+// and partial-result behavior under dead nodes) — and writes a
+// machine-readable summary to BENCH_PR6.json through the versioned
+// envelope in internal/bench.
 //
 // Two clocks appear in the output. Wall-clock nanoseconds depend on the
 // host (its CPU count is recorded under "host" so the parallel numbers
@@ -13,29 +15,26 @@
 // change from host to host. The planner A/B likewise compares LFM page
 // counts, which are exact and host-independent.
 //
-//	perfbench                     # full run, writes BENCH_PR4.json
+//	perfbench                     # full run, writes BENCH_PR6.json
 //	perfbench -smoke -out /tmp/b.json   # one tiny iteration (CI smoke)
 package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"qbism"
+	"qbism/internal/bench"
+	"qbism/internal/faultsim"
 )
 
-type hostInfo struct {
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	GoVersion  string `json:"go_version"`
-}
+// prTag labels the artifact this tool currently regenerates.
+const prTag = "PR6"
 
 type benchConfig struct {
 	Bits          int    `json:"bits"`
@@ -115,8 +114,27 @@ type obsReport struct {
 	SpansPerQuery  float64 `json:"spans_per_query"`
 }
 
+type clusterReport struct {
+	Shards   int `json:"shards"`
+	Replicas int `json:"replicas"`
+	Queries  int `json:"batch_queries"`
+	// Healthy vs one-primary-dead batch makespans on the simulated
+	// clock (host-independent), and whether the degraded batch's
+	// payloads were byte-identical to the healthy run's.
+	CleanSimMs        float64 `json:"clean_sim_ms"`
+	DegradedSimMs     float64 `json:"degraded_sim_ms"`
+	Failovers         int64   `json:"failovers"`
+	DegradedIdentical bool    `json:"degraded_identical_results"`
+	// Whole-shard loss: the typed partial names the lost shard and the
+	// surviving results still match the healthy run.
+	LostShards      []int `json:"lost_shards"`
+	LostQueries     int   `json:"lost_queries"`
+	PartialBatches  int64 `json:"partial_batches"`
+	SurvivorsMatch  bool  `json:"survivors_identical_results"`
+	ShardUnavail    int64 `json:"shard_unavailable_reads"`
+}
+
 type report struct {
-	Host     hostInfo       `json:"host"`
 	Config   benchConfig    `json:"config"`
 	Pruning  pruningReport  `json:"pruning"`
 	GapSweep []gapPoint     `json:"gap_sweep"`
@@ -124,10 +142,11 @@ type report struct {
 	Parallel parallelReport `json:"parallel"`
 	Planner  plannerReport  `json:"planner"`
 	Obs      obsReport      `json:"observability"`
+	Cluster  clusterReport  `json:"cluster"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "write the JSON report here")
+	out := flag.String("out", "BENCH_PR6.json", "write the JSON report here")
 	smoke := flag.Bool("smoke", false, "tiny single-iteration run (CI smoke test)")
 	bits := flag.Int("bits", 6, "atlas grid bits per axis")
 	pets := flag.Int("pets", 5, "number of PET studies")
@@ -149,7 +168,6 @@ func main() {
 		fail("load: %v", err)
 	}
 	rep := report{
-		Host: hostInfo{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()},
 		Config: benchConfig{
 			Bits: *bits, PETs: *pets, MRIs: *mris, Iters: *iters, Workers: *workers,
 			CachePages: *cachePages, ModelGapPages: sys.Model.CoalesceGapPages(), Smoke: *smoke,
@@ -162,14 +180,14 @@ func main() {
 	rep.Parallel = measureParallel(sys, *workers)
 	rep.Planner = measurePlanner(sys, *iters)
 	rep.Obs = measureObs(cfg, *iters)
+	rep.Cluster = measureCluster(cfg, *workers)
 
-	blob, err := json.MarshalIndent(rep, "", "  ")
+	env, err := bench.New(prTag, "perfbench", rep)
 	if err != nil {
-		fail("marshal: %v", err)
+		fail("%v", err)
 	}
-	blob = append(blob, '\n')
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fail("write %s: %v", *out, err)
+	if err := env.WriteFile(*out); err != nil {
+		fail("%v", err)
 	}
 
 	fmt.Printf("pruning: full=%d pages, box=%d (%.1fx fewer), structure=%d (%.1fx fewer)\n",
@@ -183,14 +201,107 @@ func main() {
 		rep.Cache.CachePages, rep.Cache.WarmPages, rep.Cache.ColdPages, rep.Cache.HitRate)
 	fmt.Printf("batch x%d: wall %.2fx, simulated %.2fx at %d workers (host has %d CPUs)\n",
 		rep.Parallel.Queries, rep.Parallel.Batch.WallSpeedup, rep.Parallel.Batch.SimSpeedup,
-		rep.Parallel.Workers, rep.Host.NumCPU)
+		rep.Parallel.Workers, env.Host.NumCPU)
 	fmt.Printf("planner: pushdown %d pages vs %d without (%.1fx fewer), identical=%v\n",
 		rep.Planner.PushdownPages, rep.Planner.NoPushdownPages,
 		rep.Planner.PagesSavedFactor, rep.Planner.Identical)
 	fmt.Printf("observability: %s/op untraced vs %s/op traced (%.1f%% overhead), span pages exact=%v\n",
 		time.Duration(rep.Obs.UntracedNsOp), time.Duration(rep.Obs.TracedNsOp),
 		rep.Obs.OverheadPct, rep.Obs.SpanPagesExact)
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("cluster %dx(1+%d): %d failovers with a dead primary (identical=%v), shard loss -> %d typed-partial queries (survivors identical=%v)\n",
+		rep.Cluster.Shards, rep.Cluster.Replicas, rep.Cluster.Failovers, rep.Cluster.DegradedIdentical,
+		rep.Cluster.LostQueries, rep.Cluster.SurvivorsMatch)
+	fmt.Printf("wrote %s (schema v%d, %s)\n", *out, env.Schema, prTag)
+}
+
+// measureCluster prices the sharded deployment's robustness: the same
+// batch runs healthy, then with shard 0's primary dead (every read must
+// fail over and stay byte-identical), then with shard 0 entirely dead
+// (the batch must degrade to a typed partial naming the shard while the
+// survivors stay byte-identical). All makespans are simulated time.
+func measureCluster(cfg qbism.Config, workers int) clusterReport {
+	cs, err := qbism.NewClusterSystem(qbism.ClusterConfig{
+		Shards: 2, Replicas: 1, Base: cfg, Retry: qbism.DefaultRetryPolicy(),
+	})
+	if err != nil {
+		fail("load cluster: %v", err)
+	}
+	method := cs.Nodes[0][0].Cfg.Method
+	var specs []qbism.QuerySpec
+	for _, st := range cs.Studies {
+		specs = append(specs,
+			qbism.QuerySpec{StudyID: st.StudyID, Atlas: "Talairach", FullStudy: true},
+			qbism.QuerySpec{StudyID: st.StudyID, Atlas: "Talairach", Structure: "ntal"})
+	}
+	r := clusterReport{Shards: 2, Replicas: 1, Queries: len(specs)}
+
+	marshal := func(items []qbism.BatchItem) [][]byte {
+		blobs := make([][]byte, len(items))
+		for i, item := range items {
+			if item.Err != nil {
+				continue
+			}
+			b, err := qbism.MarshalDataRegion(item.Res.Data, method)
+			if err != nil {
+				fail("marshal %s: %v", item.Spec.Label(), err)
+			}
+			blobs[i] = b
+		}
+		return blobs
+	}
+
+	clean, partial := cs.RunQueries(specs, workers)
+	if partial != nil {
+		fail("healthy cluster batch reported a partial: %v", partial)
+	}
+	for _, item := range clean {
+		if item.Err != nil {
+			fail("healthy cluster batch: %s: %v", item.Spec.Label(), item.Err)
+		}
+	}
+	want := marshal(clean)
+	_, cleanSim := qbism.BatchSim(clean, workers)
+	r.CleanSimMs = float64(cleanSim.Microseconds()) / 1e3
+
+	// Phase 2: shard 0's primary goes dark; replicas must carry it.
+	cs.Nodes[0][0].Link.SetFaults(faultsim.New(faultsim.Policy{DropProb: 1}))
+	degraded, partial := cs.RunQueries(specs, workers)
+	if partial != nil {
+		fail("degraded batch lost a shard despite a live replica: %v", partial)
+	}
+	got := marshal(degraded)
+	r.DegradedIdentical = true
+	for i := range got {
+		if degraded[i].Err != nil || !bytes.Equal(got[i], want[i]) {
+			r.DegradedIdentical = false
+		}
+	}
+	_, degSim := qbism.BatchSim(degraded, workers)
+	r.DegradedSimMs = float64(degSim.Microseconds()) / 1e3
+	r.Failovers = cs.Metrics.Counter("cluster_failover_total").Value()
+
+	// Phase 3: the whole shard goes dark; the batch must degrade to a
+	// typed partial, never a silent wrong answer.
+	cs.Nodes[0][1].Link.SetFaults(faultsim.New(faultsim.Policy{DropProb: 1}))
+	lost, partial := cs.RunQueries(specs, workers)
+	if partial == nil {
+		fail("dead shard produced no PartialResult")
+	}
+	r.LostShards = partial.LostShards()
+	r.LostQueries = partial.LostKeys()
+	r.SurvivorsMatch = true
+	gotLost := marshal(lost)
+	for i := range lost {
+		if lost[i].Err != nil {
+			continue
+		}
+		if !bytes.Equal(gotLost[i], want[i]) {
+			r.SurvivorsMatch = false
+		}
+	}
+	r.PartialBatches = cs.Metrics.Counter("cluster_partial_total").Value()
+	r.ShardUnavail = cs.Metrics.Counter("cluster_shard_unavailable_total").Value()
+	return r
 }
 
 // timeQuery runs the spec iters times and returns ns/op plus the pages

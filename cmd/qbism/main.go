@@ -15,10 +15,19 @@
 // device and lets the retrying, checksummed query path ride them out:
 //
 //	qbism -study 1 -full -drop 0.05 -timeout 0.02 -readerr 0.01 -faultseed 42
+//
+// Cluster mode partitions the corpus across shards, each a
+// primary+replica node pair; -deadnode and -slownode degrade a chosen
+// node so the failover, circuit-breaker, and hedging machinery is
+// observable from the command line:
+//
+//	qbism -study 1 -full -shards 2 -replicas 1 -deadnode 0:0
+//	qbism -study 1 -full -shards 2 -slownode 1:0 -metrics
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -62,6 +71,11 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for multi-study plans (0/1 = serial)")
 	noPushdown := flag.Bool("nopushdown", false, "disable SQL predicate pushdown and hash joins (A/B baseline)")
 
+	shards := flag.Int("shards", 0, "partition the corpus across this many shards (0 = unsharded single node)")
+	replicas := flag.Int("replicas", 1, "replicas per shard primary (cluster mode)")
+	deadNode := flag.String("deadnode", "", "cluster: kill this node's link before querying, as shard:replica (0:0 = shard 0 primary)")
+	slowNode := flag.String("slownode", "", "cluster: add 50ms per message on this node's link, as shard:replica")
+
 	trace := flag.Bool("trace", false, "trace the query and print its span tree")
 	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus text format) on exit")
 	slowlog := flag.Duration("slowlog", 0, "capture queries at least this slow into the slow-query log (implies -trace)")
@@ -91,6 +105,47 @@ func main() {
 	pol.MaxAttempts = *retries
 	pol.Seed = *faultSeed
 	cfg.Retry = pol
+
+	buildSpec := func() qbism.QuerySpec {
+		spec := qbism.QuerySpec{
+			StudyID:   *study,
+			Atlas:     "Talairach",
+			FullStudy: *full,
+			Structure: *structure,
+		}
+		if *boxSpec != "" {
+			parts := strings.Split(*boxSpec, ",")
+			if len(parts) != 6 {
+				fail("-box needs 6 comma-separated coordinates")
+			}
+			var b [6]uint32
+			for i, p := range parts {
+				v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+				if err != nil {
+					fail("-box coordinate %d: %v", i+1, err)
+				}
+				b[i] = uint32(v)
+			}
+			spec.Box = &b
+		}
+		if *bandLo >= 0 || *bandHi >= 0 {
+			if *bandLo < 0 || *bandHi < 0 {
+				fail("set both -bandlo and -bandhi")
+			}
+			spec.HasBand = true
+			spec.BandLo = *bandLo
+			spec.BandHi = *bandHi
+		}
+		return spec
+	}
+
+	if *shards > 0 {
+		if *sql != "" || *repl {
+			fail("-shards applies to query specs; the SQL modes run unsharded")
+		}
+		runClusterQuery(cfg, *shards, *replicas, *deadNode, *slowNode, *metrics, *out, buildSpec())
+		return
+	}
 
 	sys, err := qbism.NewSystem(cfg)
 	if err != nil {
@@ -146,35 +201,7 @@ func main() {
 		}
 	}
 
-	spec := qbism.QuerySpec{
-		StudyID:   *study,
-		Atlas:     "Talairach",
-		FullStudy: *full,
-		Structure: *structure,
-	}
-	if *boxSpec != "" {
-		parts := strings.Split(*boxSpec, ",")
-		if len(parts) != 6 {
-			fail("-box needs 6 comma-separated coordinates")
-		}
-		var b [6]uint32
-		for i, p := range parts {
-			v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
-			if err != nil {
-				fail("-box coordinate %d: %v", i+1, err)
-			}
-			b[i] = uint32(v)
-		}
-		spec.Box = &b
-	}
-	if *bandLo >= 0 || *bandHi >= 0 {
-		if *bandLo < 0 || *bandHi < 0 {
-			fail("set both -bandlo and -bandhi")
-		}
-		spec.HasBand = true
-		spec.BandLo = *bandLo
-		spec.BandHi = *bandHi
-	}
+	spec := buildSpec()
 
 	res, err := sys.RunQuery(spec)
 	if err != nil {
@@ -229,6 +256,111 @@ func main() {
 			fail("write %s: %v", *out, err)
 		}
 		fmt.Printf("wrote %dx%d MIP projection to %s\n", res.Image.W, res.Image.H, *out)
+	}
+}
+
+// parseNodeRef parses "shard:replica" ("0:0" is shard 0's primary).
+func parseNodeRef(flagName, v string) (shard, replica int, ok bool) {
+	if v == "" {
+		return 0, 0, false
+	}
+	parts := strings.SplitN(v, ":", 2)
+	if len(parts) != 2 {
+		fail("%s: want shard:replica, got %q", flagName, v)
+	}
+	sh, err := strconv.Atoi(parts[0])
+	if err != nil || sh < 0 {
+		fail("%s: bad shard in %q", flagName, v)
+	}
+	r, err := strconv.Atoi(parts[1])
+	if err != nil || r < 0 {
+		fail("%s: bad replica in %q", flagName, v)
+	}
+	return sh, r, true
+}
+
+// runClusterQuery executes one query spec against a sharded deployment,
+// optionally degrading one node first, and reports how the read was
+// served: which node answered, and any failovers, retries, or hedges it
+// took to keep the answer byte-identical.
+func runClusterQuery(cfg qbism.Config, shards, replicas int, deadNode, slowNode string, metrics bool, out string, spec qbism.QuerySpec) {
+	deadSh, deadR, haveDead := parseNodeRef("-deadnode", deadNode)
+	slowSh, slowR, haveSlow := parseNodeRef("-slownode", slowNode)
+	if replicas == 0 {
+		// ClusterConfig treats 0 as "default" (one replica); an explicit
+		// -replicas 0 on the CLI means none.
+		replicas = -1
+	}
+	ccfg := qbism.ClusterConfig{
+		Shards: shards, Replicas: replicas, Base: cfg,
+		Retry:      cfg.Retry,
+		HedgeAfter: 25 * time.Millisecond,
+		NodeFaults: func(sh, r int) (link, device *qbism.FaultPolicy) {
+			switch {
+			case haveDead && sh == deadSh && r == deadR:
+				return &qbism.FaultPolicy{DropProb: 1}, nil
+			case haveSlow && sh == slowSh && r == slowR:
+				return &qbism.FaultPolicy{LatencyProb: 1, ExtraLatency: 50 * time.Millisecond}, nil
+			}
+			return nil, nil
+		},
+	}
+	cs, err := qbism.NewClusterSystem(ccfg)
+	if err != nil {
+		fail("load cluster: %v", err)
+	}
+	perShard := make([]int, shards)
+	for sh, nodes := range cs.Nodes {
+		perShard[sh] = len(nodes[0].Studies)
+	}
+	if replicas < 0 {
+		replicas = 0
+	}
+	fmt.Printf("loaded %d studies across %d shards x (1 primary + %d replica(s)); studies per shard: %v\n",
+		len(cs.Studies), shards, replicas, perShard)
+	if haveDead {
+		fmt.Printf("degraded: node %d:%d is dead (all messages dropped)\n", deadSh, deadR)
+	}
+	if haveSlow {
+		fmt.Printf("degraded: node %d:%d is slow (+50ms per message)\n", slowSh, slowR)
+	}
+
+	res, err := cs.RunQuery(spec)
+	if err != nil {
+		if errors.Is(err, qbism.ErrShardUnavailable) {
+			fail("query: shard lost (typed, never a silent wrong answer): %v", err)
+		}
+		fail("query: %v", err)
+	}
+	qbism.WriteTable3(os.Stdout, []qbism.QueryTiming{res.Timing})
+	st := res.Data.Stats()
+	fmt.Printf("\nresult: %d voxels in %d runs; intensity min/mean/max = %d/%.1f/%d (patient %s, %s)\n",
+		st.N, res.Data.Region.NumRuns(), st.Min, st.Mean, st.Max, res.Meta.Patient, res.Meta.Date)
+	if info := res.Shard; info != nil {
+		fmt.Printf("cluster: shard %d served by %s in %d attempt(s), %d failover(s), hedged=%v (won=%v), %v simulated node latency\n",
+			info.Shard, info.Node, info.Attempts, info.Failovers, info.Hedged, info.HedgeWon, info.LatencySim)
+	}
+	if res.Retry.Retries > 0 {
+		fmt.Printf("resilience: %d attempts, %d retried, %v simulated backoff (last error: %s)\n",
+			res.Retry.Attempts, res.Retry.Retries, res.Retry.BackoffSim, res.Retry.LastError)
+	}
+	if res.Meta.Degraded {
+		fmt.Printf("WARNING: degraded answer — %s\n", res.Meta.Warning)
+	}
+	if metrics {
+		fmt.Println("\ncluster metrics:")
+		cs.Metrics.WriteProm(os.Stdout)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fail("create %s: %v", out, err)
+		}
+		defer f.Close()
+		if err := res.Image.WritePGM(f); err != nil {
+			fail("write %s: %v", out, err)
+		}
+		fmt.Printf("wrote %dx%d MIP projection to %s\n", res.Image.W, res.Image.H, out)
 	}
 }
 

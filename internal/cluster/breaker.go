@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one circuit-breaker state.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast; after Cooldown of simulated time it
+	// admits a single half-open probe.
+	BreakerOpen
+	// BreakerHalfOpen has admitted a probe and is waiting for its
+	// verdict: success closes the breaker, failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a node's circuit breaker. The zero value
+// disables the breaker entirely (every Allow passes), which keeps
+// single-attempt semantics for callers that only want failover.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that trips
+	// the breaker open. <= 0 disables the breaker.
+	FailureThreshold int
+	// Cooldown is how long (simulated time) an open breaker waits
+	// before admitting a single half-open probe. Zero with a positive
+	// threshold defaults to 250ms of simulated time.
+	Cooldown time.Duration
+}
+
+// withDefaults fills zero fields of an enabled config.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold > 0 && c.Cooldown <= 0 {
+		c.Cooldown = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Breaker is a per-node consecutive-failure circuit breaker driven by
+// the cluster's *simulated* clock: "now" is a duration the cluster
+// advances deterministically (per-call quanta, injected latency, and
+// retry backoff), never the wall clock, so breaker transitions replay
+// byte-for-byte from a seed. Safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState  // guarded by mu
+	fails    int           // guarded by mu; consecutive failures while closed
+	openedAt time.Duration // guarded by mu; sim time the breaker last opened
+	probing  bool          // guarded by mu; a half-open probe is in flight
+}
+
+// NewBreaker builds a breaker; the zero-value config disables it.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a call may proceed at the given simulated time.
+// An open breaker whose cooldown has elapsed transitions to half-open
+// and admits exactly one probe; further calls are rejected until the
+// probe reports success or failure.
+func (b *Breaker) Allow(now time.Duration) bool {
+	if b.cfg.FailureThreshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now-b.openedAt >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// OnSuccess records a successful call: the failure streak resets and a
+// half-open probe's success closes the breaker.
+func (b *Breaker) OnSuccess() {
+	if b.cfg.FailureThreshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// OnFailure records a failed call at the given simulated time: a
+// half-open probe's failure re-opens immediately, and a closed breaker
+// opens once the consecutive-failure threshold is reached.
+func (b *Breaker) OnFailure(now time.Duration) {
+	if b.cfg.FailureThreshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = now
+		return
+	}
+	b.fails++
+	if b.fails >= b.cfg.FailureThreshold {
+		b.state = BreakerOpen
+		b.openedAt = now
+	}
+}
+
+// State returns the breaker's current state without transitioning it
+// (an open breaker past its cooldown still reports open until a call's
+// Allow admits the probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerDisabledAlwaysAllows(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 10; i++ {
+		b.OnFailure(time.Duration(i))
+		if !b.Allow(time.Duration(i)) {
+			t.Fatalf("disabled breaker refused at i=%d", i)
+		}
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("disabled breaker state = %v, want closed", got)
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: 100 * time.Millisecond})
+	b.OnFailure(0)
+	b.OnFailure(0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("opened before threshold: %v", b.State())
+	}
+	b.OnFailure(0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if b.Allow(50 * time.Millisecond) {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3})
+	b.OnFailure(0)
+	b.OnFailure(0)
+	b.OnSuccess()
+	b.OnFailure(0)
+	b.OnFailure(0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("streak did not reset: %v", b.State())
+	}
+	b.OnFailure(0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	cd := 100 * time.Millisecond
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: cd})
+	b.OnFailure(0)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	// Cooldown elapses: exactly one probe is admitted.
+	if !b.Allow(cd) {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow(cd) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe succeeds: breaker closes and traffic flows.
+	b.OnSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if !b.Allow(cd) {
+		t.Fatal("closed breaker refused")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	cd := 100 * time.Millisecond
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: cd})
+	b.OnFailure(0)
+	if !b.Allow(cd) {
+		t.Fatal("probe refused")
+	}
+	b.OnFailure(cd)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", b.State())
+	}
+	// The cooldown restarts from the probe failure's timestamp.
+	if b.Allow(cd + cd/2) {
+		t.Fatal("re-opened breaker allowed before fresh cooldown")
+	}
+	if !b.Allow(2 * cd) {
+		t.Fatal("second probe refused after fresh cooldown")
+	}
+}
+
+func TestBreakerDefaultCooldown(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1})
+	if b.cfg.Cooldown <= 0 {
+		t.Fatalf("enabled breaker has no default cooldown: %v", b.cfg.Cooldown)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}

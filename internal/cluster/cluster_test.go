@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"qbism/internal/faultsim"
+	"qbism/internal/obs"
+)
+
+var errFlaky = errors.New("flaky node")
+var errSemantic = errors.New("unknown study")
+
+// fakeNode answers from a script: each call consumes the next entry.
+type fakeNode struct {
+	name    string
+	resp    []byte
+	lat     time.Duration
+	failSeq []error // per-call errors; nil entry = success; exhausted = success
+	calls   int
+}
+
+func (f *fakeNode) Name() string { return f.name }
+
+func (f *fakeNode) Call(parent *obs.Span, method string, request []byte) ([]byte, time.Duration, error) {
+	i := f.calls
+	f.calls++
+	if i < len(f.failSeq) && f.failSeq[i] != nil {
+		return nil, f.lat, fmt.Errorf("call %d: %w", i+1, f.failSeq[i])
+	}
+	return f.resp, f.lat, nil
+}
+
+func alwaysFail(err error) []error {
+	seq := make([]error, 64)
+	for i := range seq {
+		seq[i] = err
+	}
+	return seq
+}
+
+func retryFlaky(err error) bool { return errors.Is(err, errFlaky) }
+
+func testConfig() Config {
+	return Config{
+		MaxAttempts: 4,
+		Retryable:   retryFlaky,
+		CallQuantum: time.Millisecond,
+	}
+}
+
+func TestReadPrimaryHappyPath(t *testing.T) {
+	p := &fakeNode{name: "s0p", resp: []byte("primary")}
+	r := &fakeNode{name: "s0r1", resp: []byte("primary")}
+	c, err := New(testConfig(), [][]Node{{p, r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, info, err := c.Read(nil, Key{Patient: 1, Study: 1}, "q", []byte("req"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "primary" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if info.Node != "s0p" || info.Attempts != 1 || info.Failovers != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	if r.calls != 0 {
+		t.Fatalf("replica dialed %d times on happy path", r.calls)
+	}
+}
+
+func TestReadFailsOverToReplica(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.Metrics = reg
+	p := &fakeNode{name: "s0p", failSeq: alwaysFail(errFlaky)}
+	r := &fakeNode{name: "s0r1", resp: []byte("rows")}
+	c, err := New(cfg, [][]Node{{p, r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, info, err := c.Read(nil, Key{Patient: 1, Study: 1}, "q", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "rows" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if info.Node != "s0r1" {
+		t.Fatalf("served by %q, want replica", info.Node)
+	}
+	if info.Failovers != 1 || info.Attempts != 2 || info.Retries != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if got := reg.Counter("cluster_failover_total").Value(); got != 1 {
+		t.Fatalf("cluster_failover_total = %d, want 1", got)
+	}
+}
+
+func TestReadExhaustionIsTypedUnavailable(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.Metrics = reg
+	p := &fakeNode{name: "s0p", failSeq: alwaysFail(errFlaky)}
+	r := &fakeNode{name: "s0r1", failSeq: alwaysFail(errFlaky)}
+	c, err := New(cfg, [][]Node{{p, r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := c.Read(nil, Key{Patient: 2, Study: 2}, "q", nil)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("err = %v, not ErrShardUnavailable", err)
+	}
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("underlying cause lost from chain: %v", err)
+	}
+	if info.Attempts != cfg.MaxAttempts {
+		t.Fatalf("attempts = %d, want %d", info.Attempts, cfg.MaxAttempts)
+	}
+	if got := reg.Counter("cluster_shard_unavailable_total").Value(); got != 1 {
+		t.Fatalf("cluster_shard_unavailable_total = %d, want 1", got)
+	}
+}
+
+func TestReadTerminalErrorNoFailover(t *testing.T) {
+	p := &fakeNode{name: "s0p", failSeq: alwaysFail(errSemantic)}
+	r := &fakeNode{name: "s0r1", resp: []byte("never")}
+	c, err := New(testConfig(), [][]Node{{p, r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := c.Read(nil, Key{Patient: 3, Study: 3}, "q", nil)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("semantic error misclassified as unavailable: %v", err)
+	}
+	if !errors.Is(err, errSemantic) {
+		t.Fatalf("cause lost: %v", err)
+	}
+	if info.Attempts != 1 || r.calls != 0 {
+		t.Fatalf("terminal error retried: info=%+v replicaCalls=%d", info, r.calls)
+	}
+}
+
+func TestReadBreakerSkipsDeadPrimary(t *testing.T) {
+	cfg := testConfig()
+	cfg.Breaker = BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour}
+	p := &fakeNode{name: "s0p", failSeq: alwaysFail(errFlaky)}
+	r := &fakeNode{name: "s0r1", resp: []byte("ok")}
+	c, err := New(cfg, [][]Node{{p, r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two reads trip the primary's breaker (one failure each).
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Read(nil, Key{Patient: 1, Study: i}, "q", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.NodeState(0, 0); got != BreakerOpen {
+		t.Fatalf("primary breaker = %v, want open", got)
+	}
+	dialed := p.calls
+	// Subsequent reads go straight to the replica without dialing the
+	// dead primary.
+	if _, info, err := c.Read(nil, Key{Patient: 1, Study: 9}, "q", nil); err != nil {
+		t.Fatal(err)
+	} else if info.Node != "s0r1" || info.Attempts != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if p.calls != dialed {
+		t.Fatalf("open breaker still dialed primary (%d -> %d)", dialed, p.calls)
+	}
+}
+
+func TestReadBreakerHalfOpenRecovery(t *testing.T) {
+	cfg := testConfig()
+	cfg.Breaker = BreakerConfig{FailureThreshold: 1, Cooldown: 5 * time.Millisecond}
+	// Primary fails twice then recovers.
+	p := &fakeNode{name: "s0p", resp: []byte("ok"), failSeq: []error{errFlaky, errFlaky}}
+	r := &fakeNode{name: "s0r1", resp: []byte("ok")}
+	c, err := New(cfg, [][]Node{{p, r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Read(nil, Key{Patient: 1, Study: 1}, "q", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NodeState(0, 0); got != BreakerOpen {
+		t.Fatalf("primary breaker = %v, want open", got)
+	}
+	// Each read advances the simulated clock by >= 1ms; after the 5ms
+	// cooldown the primary gets a half-open probe, which succeeds once
+	// its failSeq is exhausted, closing the breaker.
+	var served string
+	for i := 0; i < 30 && served != "s0p"; i++ {
+		_, info, err := c.Read(nil, Key{Patient: 1, Study: 100 + i}, "q", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		served = info.Node
+	}
+	if served != "s0p" {
+		t.Fatalf("primary never recovered; breaker = %v", c.NodeState(0, 0))
+	}
+	if got := c.NodeState(0, 0); got != BreakerClosed {
+		t.Fatalf("breaker after recovery = %v, want closed", got)
+	}
+}
+
+func TestReadHedgesAgainstSlowNode(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.Metrics = reg
+	cfg.HedgeAfter = 10 * time.Millisecond
+	slow := &fakeNode{name: "s0p", resp: []byte("rows"), lat: 50 * time.Millisecond}
+	fast := &fakeNode{name: "s0r1", resp: []byte("rows")}
+	c, err := New(cfg, [][]Node{{slow, fast}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First read seeds the slow node's EWMA above the hedge threshold;
+	// the second read hedges and the replica wins the latency race.
+	if _, info, err := c.Read(nil, Key{Patient: 1, Study: 1}, "q", nil); err != nil {
+		t.Fatal(err)
+	} else if info.Hedged {
+		t.Fatalf("hedged before EWMA had data: %+v", info)
+	}
+	_, info, err := c.Read(nil, Key{Patient: 1, Study: 2}, "q", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Hedged || !info.HedgeWon {
+		t.Fatalf("info = %+v, want hedged win", info)
+	}
+	if info.Node != "s0r1" {
+		t.Fatalf("winner = %q, want fast replica", info.Node)
+	}
+	if info.LatencySim >= 50*time.Millisecond {
+		t.Fatalf("winning latency %v not better than slow node", info.LatencySim)
+	}
+	if got := reg.Counter("cluster_hedged_total").Value(); got != 1 {
+		t.Fatalf("cluster_hedged_total = %d, want 1", got)
+	}
+}
+
+func TestReadBackoffDeterministic(t *testing.T) {
+	run := func() (ReadInfo, time.Duration) {
+		cfg := testConfig()
+		cfg.JitterSeed = 42
+		cfg.Backoff = func(attempt int, rng *faultsim.Rand) time.Duration {
+			base := time.Duration(1<<uint(attempt-1)) * 10 * time.Millisecond
+			return base/2 + time.Duration(rng.Float64()*float64(base/2))
+		}
+		p := &fakeNode{name: "s0p", failSeq: []error{errFlaky, errFlaky}}
+		r := &fakeNode{name: "s0r1", failSeq: []error{errFlaky}, resp: []byte("ok")}
+		c, err := New(cfg, [][]Node{{p, r}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, info, err := c.Read(nil, Key{Patient: 5, Study: 5}, "q", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info, c.SimNow()
+	}
+	a, simA := run()
+	b, simB := run()
+	if a != b {
+		t.Fatalf("ReadInfo diverged:\n  %+v\n  %+v", a, b)
+	}
+	if simA != simB {
+		t.Fatalf("simulated clock diverged: %v vs %v", simA, simB)
+	}
+	if a.BackoffSim <= 0 {
+		t.Fatalf("no backoff charged: %+v", a)
+	}
+}
+
+func TestNewRejectsBadTopology(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Fatal("New accepted zero shards")
+	}
+	if _, err := New(Config{}, [][]Node{{}}); err == nil {
+		t.Fatal("New accepted empty shard")
+	}
+}
+
+func TestReadShardOutOfRange(t *testing.T) {
+	c, err := New(testConfig(), [][]Node{{&fakeNode{name: "s0p"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ReadShard(nil, 7, Key{}, "q", nil); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+func TestBuildPartial(t *testing.T) {
+	keys := []Key{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	shards := []int{2, 0, 2, 1}
+	unavailable := fmt.Errorf("%w: gone", ErrShardUnavailable)
+	errs := []error{unavailable, nil, unavailable, errSemantic}
+	p := BuildPartial(3, keys, shards, errs)
+	if p == nil {
+		t.Fatal("nil partial")
+	}
+	if p.TotalShards != 3 {
+		t.Fatalf("TotalShards = %d", p.TotalShards)
+	}
+	if got := p.LostShards(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("LostShards = %v, want [2]", got)
+	}
+	if p.LostKeys() != 2 {
+		t.Fatalf("LostKeys = %d, want 2", p.LostKeys())
+	}
+	if len(p.Failed[0].Keys) != 2 || p.Failed[0].Keys[0] != (Key{1, 1}) {
+		t.Fatalf("Failed[0].Keys = %v", p.Failed[0].Keys)
+	}
+	if s := p.String(); s == "complete" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestBuildPartialNilWhenComplete(t *testing.T) {
+	if p := BuildPartial(2, []Key{{1, 1}}, []int{0}, []error{nil}); p != nil {
+		t.Fatalf("partial = %v, want nil", p)
+	}
+	// Non-unavailable errors are not the partial's business.
+	if p := BuildPartial(2, []Key{{1, 1}}, []int{0}, []error{errSemantic}); p != nil {
+		t.Fatalf("partial = %v, want nil", p)
+	}
+	var nilP *PartialResult
+	if nilP.String() != "complete" || nilP.LostKeys() != 0 || nilP.LostShards() != nil {
+		t.Fatal("nil PartialResult accessors not safe")
+	}
+}
+
+func TestBuildPartialSortsShards(t *testing.T) {
+	unavailable := fmt.Errorf("%w: gone", ErrShardUnavailable)
+	keys := []Key{{1, 1}, {2, 2}, {3, 3}}
+	shards := []int{2, 0, 1}
+	errs := []error{unavailable, unavailable, unavailable}
+	p := BuildPartial(3, keys, shards, errs)
+	if got := p.LostShards(); got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("LostShards = %v, want ascending", got)
+	}
+}

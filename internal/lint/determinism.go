@@ -8,8 +8,9 @@ import (
 )
 
 // DeterminismAnalyzer enforces replayability in the simulation
-// packages (faultsim, netsim, and the parallel scheduler in package
-// qbism): no wall-clock reads (time.Now, time.Since, time.After, ...),
+// packages (faultsim, netsim, the sharded read path in cluster, and the
+// parallel scheduler in package qbism): no wall-clock reads (time.Now,
+// time.Since, time.After, ...),
 // no process-seeded randomness (top-level math/rand functions or
 // rand.New(rand.NewSource(time.Now...))), and no output assembled in
 // map-iteration order. Those packages replay chaos runs byte-for-byte
@@ -19,7 +20,8 @@ var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock, process randomness, and map-order-dependent output in simulation packages",
 	Match: func(pkg *Package) bool {
-		return pkg.Name == "faultsim" || pkg.Name == "netsim" || pkg.Name == "qbism"
+		return pkg.Name == "faultsim" || pkg.Name == "netsim" ||
+			pkg.Name == "cluster" || pkg.Name == "qbism"
 	},
 	Run: runDeterminism,
 }

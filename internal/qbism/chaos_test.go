@@ -7,6 +7,9 @@ import (
 	"reflect"
 	"testing"
 
+	"time"
+
+	"qbism/internal/cluster"
 	"qbism/internal/faultsim"
 	"qbism/internal/netsim"
 	"qbism/internal/rencode"
@@ -296,5 +299,586 @@ func TestRetryExhaustionIsTyped(t *testing.T) {
 	}
 	if got := sys.Link.Stats().Retries; got != 2 {
 		t.Errorf("retries = %d, want 2 (3 attempts)", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-shard suite: the cluster under slow, dead, corrupt, and
+// flapping nodes. Every test asserts the graceful-degradation contract:
+// a query either returns bytes identical to an unsharded fault-free
+// control system (replica failover) or fails with a typed error that a
+// scatter-gather folds into a PartialResult naming the lost shard —
+// never a silent wrong answer.
+
+// clusterChaosConfig is a small 2-shard, primary+replica cluster over
+// the chaos corpus. DeviceBytes is explicit: lfm.New allocates the full
+// device upfront, and the per-node default includes production slack.
+func clusterChaosConfig() ClusterConfig {
+	base := chaosBaseConfig()
+	base.DeviceBytes = 8 << 20
+	return ClusterConfig{
+		Shards:   2,
+		Replicas: 1,
+		Base:     base,
+		Retry:    RetryPolicy{MaxAttempts: 4, Seed: 9},
+	}
+}
+
+// clusterControl builds the unsharded control system over the same
+// corpus: replicas and shards synthesize from the same global (ID,
+// seed) slots, so its answers are the byte-exact truth.
+func clusterControl(t *testing.T) (*System, map[string][]byte) {
+	t.Helper()
+	control, err := New(chaosBaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte)
+	for _, spec := range chaosSpecPool(control) {
+		res, err := control.RunQuery(spec)
+		if err != nil {
+			t.Fatalf("control failed for %s: %v", spec.Label(), err)
+		}
+		want[spec.Key()] = marshalResult(t, control, res)
+	}
+	return control, want
+}
+
+// deadLink is a 100% drop policy: every dial of the node fails typed.
+func deadLink() *faultsim.Policy { return &faultsim.Policy{DropProb: 1.0} }
+
+// TestClusterBaselineByteIdentical: with no faults anywhere, every
+// query through the cluster returns bytes identical to the unsharded
+// control, every read is served by a primary with no failovers, and
+// the corpus is actually partitioned (no node holds everything).
+func TestClusterBaselineByteIdentical(t *testing.T) {
+	control, want := clusterControl(t)
+	cs, err := NewClusterSystem(clusterChaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Studies) != len(control.Studies) {
+		t.Fatalf("cluster corpus %d studies, control %d", len(cs.Studies), len(control.Studies))
+	}
+	total := 0
+	for sh, nodes := range cs.Nodes {
+		n := len(nodes[0].Studies)
+		total += n
+		for r := 1; r < len(nodes); r++ {
+			if len(nodes[r].Studies) != n {
+				t.Fatalf("shard %d replica %d holds %d studies, primary %d", sh, r, len(nodes[r].Studies), n)
+			}
+		}
+		if n == len(control.Studies) {
+			t.Errorf("shard %d holds the whole corpus — not partitioned", sh)
+		}
+	}
+	if total != len(control.Studies) {
+		t.Fatalf("shards hold %d studies total, corpus has %d", total, len(control.Studies))
+	}
+	for _, spec := range chaosSpecPool(control) {
+		res, err := cs.RunQuery(spec)
+		if err != nil {
+			t.Fatalf("cluster query %s: %v", spec.Label(), err)
+		}
+		if got := marshalResult(t, control, res); !bytes.Equal(got, want[spec.Key()]) {
+			t.Fatalf("cluster result differs from control for %s", spec.Label())
+		}
+		if res.Shard == nil {
+			t.Fatalf("no shard info on %s", spec.Label())
+		}
+		if res.Shard.Failovers != 0 || res.Shard.Attempts != 1 {
+			t.Errorf("fault-free read did extra work: %+v", res.Shard)
+		}
+		if sh, ok := cs.Route(spec.StudyID); !ok || sh != res.Shard.Shard {
+			t.Errorf("route says shard %d (ok=%v), served by %d", sh, ok, res.Shard.Shard)
+		}
+	}
+	if got := cs.Metrics.Counter("cluster_failover_total").Value(); got != 0 {
+		t.Errorf("cluster_failover_total = %d on a healthy cluster", got)
+	}
+}
+
+// TestClusterNodeKilledMidRun is the acceptance scenario: a primary is
+// killed partway through a run. Every query before the kill is served
+// by the primary; every query after fails over to the replica — and
+// all of them return bytes identical to the control. The failover
+// counter matches the injected drop count exactly.
+func TestClusterNodeKilledMidRun(t *testing.T) {
+	control, want := clusterControl(t)
+	cs, err := NewClusterSystem(clusterChaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := chaosSpecPool(control)
+	// Kill the shard that serves the most pool queries.
+	perShard := map[int]int{}
+	for _, spec := range pool {
+		sh, _ := cs.Route(spec.StudyID)
+		perShard[sh]++
+	}
+	victim, best := 0, -1
+	for sh, n := range perShard {
+		if n > best || (n == best && sh < victim) {
+			victim, best = sh, n
+		}
+	}
+
+	kill := len(pool) / 2
+	inj := faultsim.New(*deadLink())
+	onVictim, failovers := 0, 0
+	for i, spec := range pool {
+		if i == kill {
+			cs.Nodes[victim][0].Link.SetFaults(inj)
+		}
+		res, err := cs.RunQuery(spec)
+		if err != nil {
+			t.Fatalf("query %d (%s) failed despite a live replica: %v", i, spec.Label(), err)
+		}
+		if got := marshalResult(t, control, res); !bytes.Equal(got, want[spec.Key()]) {
+			t.Fatalf("query %d (%s): result differs from control", i, spec.Label())
+		}
+		sh, _ := cs.Route(spec.StudyID)
+		if sh != victim {
+			continue
+		}
+		onVictim++
+		if i < kill {
+			if res.Shard.Node != fmt.Sprintf("s%dp", victim) {
+				t.Errorf("query %d before kill served by %s, want primary", i, res.Shard.Node)
+			}
+		} else {
+			if res.Shard.Node != fmt.Sprintf("s%dr1", victim) {
+				t.Errorf("query %d after kill served by %s, want replica", i, res.Shard.Node)
+			}
+			if res.Shard.Failovers != 1 {
+				t.Errorf("query %d after kill: failovers = %d, want 1", i, res.Shard.Failovers)
+			}
+			failovers += res.Shard.Failovers
+		}
+	}
+	if onVictim < 4 {
+		t.Fatalf("victim shard served only %d pool queries — test is vacuous", onVictim)
+	}
+	// Exact accounting: one drop injected per post-kill dial of the dead
+	// primary, one failover per post-kill read.
+	drops := inj.Count(faultsim.Drop)
+	if got := cs.Metrics.Counter("cluster_failover_total").Value(); got != int64(failovers) || got != int64(drops) {
+		t.Errorf("cluster_failover_total = %d, want %d (= injected drops %d)", got, failovers, drops)
+	}
+	if got := cs.Metrics.Counter("cluster_partial_total").Value(); got != 0 {
+		t.Errorf("cluster_partial_total = %d, but no shard was lost", got)
+	}
+}
+
+// TestClusterDeadShardPartial kills both nodes of a shard: scatter-
+// gather returns the surviving shards' results byte-identical plus a
+// typed PartialResult naming exactly the lost shard, and the partial /
+// unavailable counters match the loss exactly.
+func TestClusterDeadShardPartial(t *testing.T) {
+	control, want := clusterControl(t)
+	cfg := clusterChaosConfig()
+	cfg.Retry = RetryPolicy{MaxAttempts: 2, Seed: 9}
+	// Pick the victim from the routing alone (stable across runs).
+	part := cluster.NewPartitioner(cfg.Shards)
+	victim := part.Shard(cluster.Key{Patient: control.Studies[0].PatientID, Study: control.Studies[0].StudyID})
+	cfg.NodeFaults = func(shard, replica int) (link, device *faultsim.Policy) {
+		if shard == victim {
+			return deadLink(), nil
+		}
+		return nil, nil
+	}
+	cs, err := NewClusterSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := chaosSpecPool(control)
+	items, partial := cs.RunQueries(pool, 1)
+
+	lost := 0
+	for i, item := range items {
+		sh, _ := cs.Route(item.Spec.StudyID)
+		if sh == victim {
+			lost++
+			if item.Err == nil {
+				t.Fatalf("item %d on dead shard %d succeeded", i, victim)
+			}
+			if !errors.Is(item.Err, cluster.ErrShardUnavailable) {
+				t.Fatalf("item %d: error not typed ErrShardUnavailable: %v", i, item.Err)
+			}
+			if !errors.Is(item.Err, netsim.ErrDropped) {
+				t.Errorf("item %d: underlying drop lost from chain: %v", i, item.Err)
+			}
+			continue
+		}
+		if item.Err != nil {
+			t.Fatalf("item %d on healthy shard failed: %v", i, item.Err)
+		}
+		if got := marshalResult(t, control, item.Res); !bytes.Equal(got, want[item.Spec.Key()]) {
+			t.Fatalf("item %d: surviving result differs from control", i)
+		}
+	}
+	if lost == 0 {
+		t.Fatal("no pool queries routed to the victim shard — test is vacuous")
+	}
+	if partial == nil {
+		t.Fatal("no PartialResult despite a dead shard")
+	}
+	if ls := partial.LostShards(); len(ls) != 1 || ls[0] != victim {
+		t.Fatalf("partial names shards %v, want [%d]", ls, victim)
+	}
+	if partial.LostKeys() != lost {
+		t.Errorf("partial reports %d lost keys, want %d", partial.LostKeys(), lost)
+	}
+	if partial.TotalShards != cfg.Shards {
+		t.Errorf("partial.TotalShards = %d, want %d", partial.TotalShards, cfg.Shards)
+	}
+	// Exact metric accounting: one partial batch, one unavailable read
+	// per lost item.
+	if got := cs.Metrics.Counter("cluster_partial_total").Value(); got != 1 {
+		t.Errorf("cluster_partial_total = %d, want 1", got)
+	}
+	if got := cs.Metrics.Counter("cluster_lost_queries_total").Value(); got != int64(lost) {
+		t.Errorf("cluster_lost_queries_total = %d, want %d", got, lost)
+	}
+	if got := cs.Metrics.Counter("cluster_shard_unavailable_total").Value(); got != int64(lost) {
+		t.Errorf("cluster_shard_unavailable_total = %d, want %d", got, lost)
+	}
+}
+
+// TestClusterCorruptNodeFailover corrupts every page the primary's
+// device returns: checksums turn the rot into typed errors and reads
+// fail over to the replica — except where the server can degrade to an
+// in-memory recompute (band queries), which is equally correct. Either
+// way every answer stays byte-identical to the control.
+func TestClusterCorruptNodeFailover(t *testing.T) {
+	control, want := clusterControl(t)
+	cfg := clusterChaosConfig()
+	cfg.NodeFaults = func(shard, replica int) (link, device *faultsim.Policy) {
+		if replica == 0 {
+			return nil, &faultsim.Policy{PageCorruptProb: 1.0}
+		}
+		return nil, nil
+	}
+	cs, err := NewClusterSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failovers := 0
+	for _, spec := range chaosSpecPool(control) {
+		res, err := cs.RunQuery(spec)
+		if err != nil {
+			t.Fatalf("query %s failed despite clean replicas: %v", spec.Label(), err)
+		}
+		if got := marshalResult(t, control, res); !bytes.Equal(got, want[spec.Key()]) {
+			t.Fatalf("query %s: result differs from control", spec.Label())
+		}
+		failovers += res.Shard.Failovers
+	}
+	if failovers == 0 {
+		t.Fatal("no failovers despite fully corrupt primaries")
+	}
+	if got := cs.Metrics.Counter("cluster_failover_total").Value(); got != int64(failovers) {
+		t.Errorf("cluster_failover_total = %d, want %d", got, failovers)
+	}
+	// The corruption was detected, not silently served.
+	detected := uint64(0)
+	for _, nodes := range cs.Nodes {
+		detected += nodes[0].LFM.Stats().ChecksumFailures
+	}
+	if detected == 0 {
+		t.Error("no checksum failures recorded on corrupt primaries")
+	}
+}
+
+// TestClusterSlowNodeHedged puts heavy injected latency on every
+// primary link: once the latency EWMA crosses HedgeAfter, reads hedge
+// to the replica and the fast answer wins — still byte-identical.
+func TestClusterSlowNodeHedged(t *testing.T) {
+	control, want := clusterControl(t)
+	cfg := clusterChaosConfig()
+	slow := 50 * time.Millisecond
+	cfg.HedgeAfter = 10 * time.Millisecond
+	cfg.NodeFaults = func(shard, replica int) (link, device *faultsim.Policy) {
+		if replica == 0 {
+			return &faultsim.Policy{LatencyProb: 1.0, ExtraLatency: slow}, nil
+		}
+		return nil, nil
+	}
+	cs, err := NewClusterSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedged, won := 0, 0
+	for _, spec := range chaosSpecPool(control) {
+		res, err := cs.RunQuery(spec)
+		if err != nil {
+			t.Fatalf("query %s: %v", spec.Label(), err)
+		}
+		if got := marshalResult(t, control, res); !bytes.Equal(got, want[spec.Key()]) {
+			t.Fatalf("query %s: hedged result differs from control", spec.Label())
+		}
+		if res.Shard.Hedged {
+			hedged++
+			if res.Shard.HedgeWon {
+				won++
+				if res.Shard.Node[2] != 'r' {
+					t.Errorf("query %s: hedge won but served by %s, want the replica", spec.Label(), res.Shard.Node)
+				}
+			}
+		}
+	}
+	if hedged == 0 {
+		t.Fatal("no reads hedged despite saturated slow primaries")
+	}
+	if won == 0 {
+		t.Error("no hedge ever won against a 50ms-slower primary")
+	}
+	if got := cs.Metrics.Counter("cluster_hedged_total").Value(); got != int64(hedged) {
+		t.Errorf("cluster_hedged_total = %d, want %d", got, hedged)
+	}
+}
+
+// TestClusterFlappingNodeBreaker drives a primary through
+// fail-fail-fail-recover: the breaker opens at the threshold (traffic
+// stops dialing the dead node), then a simulated-time half-open probe
+// finds it healthy and closes the breaker, and the primary serves
+// again. Deterministic: the flap is a pinned fault schedule, the clock
+// is simulated.
+func TestClusterFlappingNodeBreaker(t *testing.T) {
+	control, want := clusterControl(t)
+	study := control.Studies[0]
+	cfg := clusterChaosConfig()
+	victim := cluster.NewPartitioner(cfg.Shards).Shard(cluster.Key{Patient: study.PatientID, Study: study.StudyID})
+	cfg.Breaker = cluster.BreakerConfig{FailureThreshold: 3, Cooldown: 20 * time.Millisecond}
+	// The primary drops its first three dials (ops pin one decision per
+	// link crossing; a dropped request is one crossing), then is healthy.
+	cfg.NodeFaults = func(shard, replica int) (link, device *faultsim.Policy) {
+		if shard == victim && replica == 0 {
+			return &faultsim.Policy{Schedule: []faultsim.Scheduled{
+				{Op: 1, Kind: faultsim.Drop},
+				{Op: 2, Kind: faultsim.Drop},
+				{Op: 3, Kind: faultsim.Drop},
+			}}, nil
+		}
+		return nil, nil
+	}
+	cs, err := NewClusterSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := QuerySpec{StudyID: study.StudyID, Atlas: "Talairach", FullStudy: true}
+	primary := fmt.Sprintf("s%dp", victim)
+
+	var servedBy []string
+	sawOpen := false
+	for i := 0; i < 40; i++ {
+		res, err := cs.RunQuery(spec)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if got := marshalResult(t, control, res); !bytes.Equal(got, want[spec.Key()]) {
+			t.Fatalf("query %d: result differs from control", i)
+		}
+		servedBy = append(servedBy, res.Shard.Node)
+		if cs.Cluster.NodeState(victim, 0) == cluster.BreakerOpen {
+			sawOpen = true
+		}
+		if sawOpen && res.Shard.Node == primary {
+			break // recovered through the half-open probe
+		}
+	}
+	if !sawOpen {
+		t.Fatal("breaker never opened after three consecutive drops")
+	}
+	last := servedBy[len(servedBy)-1]
+	if last != primary {
+		t.Fatalf("primary never recovered; reads still served by %s (breaker %v)", last, cs.Cluster.NodeState(victim, 0))
+	}
+	if got := cs.Cluster.NodeState(victim, 0); got != cluster.BreakerClosed {
+		t.Errorf("breaker after recovery = %v, want closed", got)
+	}
+	// The three pinned drops produced at most three failovers; after the
+	// breaker opened, reads went straight to the replica without dialing
+	// (or re-failing) the primary.
+	if got := cs.Metrics.Counter("cluster_failover_total").Value(); got != 3 {
+		t.Errorf("cluster_failover_total = %d, want exactly the 3 injected drops", got)
+	}
+}
+
+// TestClusterConsistentBandRegionPartial: the population n-way band
+// intersection degrades gracefully — with a shard dead, it returns the
+// intersection over surviving studies plus the typed partial, and that
+// region matches the control's intersection over the same survivors.
+func TestClusterConsistentBandRegionPartial(t *testing.T) {
+	control, err := New(chaosBaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var studies []int
+	for _, st := range control.Studies {
+		studies = append(studies, st.StudyID)
+	}
+	b := control.BandRegions[studies[0]][0]
+
+	cfg := clusterChaosConfig()
+	cfg.Retry = RetryPolicy{MaxAttempts: 2, Seed: 9}
+	victim := cluster.NewPartitioner(cfg.Shards).Shard(cluster.Key{Patient: studies[0], Study: studies[0]})
+	cfg.NodeFaults = func(shard, replica int) (link, device *faultsim.Policy) {
+		if shard == victim {
+			return deadLink(), nil
+		}
+		return nil, nil
+	}
+	cs, err := NewClusterSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, partial, err := cs.ConsistentBandRegion(studies, int(b.Lo), int(b.Hi), EncHilbertNaive, 1)
+	if err != nil {
+		t.Fatalf("ConsistentBandRegion: %v", err)
+	}
+	if partial == nil {
+		t.Fatal("no partial despite a dead shard")
+	}
+	if ls := partial.LostShards(); len(ls) != 1 || ls[0] != victim {
+		t.Fatalf("partial names %v, want [%d]", ls, victim)
+	}
+	var survivors []int
+	for _, id := range studies {
+		if sh, _ := cs.Route(id); sh != victim {
+			survivors = append(survivors, id)
+		}
+	}
+	if len(survivors) == 0 || len(survivors) == len(studies) {
+		t.Fatalf("survivors %v of %v — test is vacuous", survivors, studies)
+	}
+	wantRegion, err := control.ConsistentBandRegion(survivors, int(b.Lo), int(b.Hi), EncHilbertNaive, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEnc, err := rencode.Encode(rencode.Naive, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnc, err := rencode.Encode(rencode.Naive, wantRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotEnc, wantEnc) {
+		t.Fatalf("surviving intersection differs from control over the same studies")
+	}
+}
+
+// TestClusterChaosDeterminism runs an identical degraded workload twice
+// (serial, fixed seeds): per-item outcomes, shard/node assignments,
+// cluster counters, and the simulated clock must match exactly.
+func TestClusterChaosDeterminism(t *testing.T) {
+	type outcome struct {
+		OK    bool
+		Node  string
+		Blob  string
+		Err   string
+		Extra int // failovers + retries
+	}
+	run := func() ([]outcome, int64, int64, time.Duration) {
+		cfg := clusterChaosConfig()
+		cfg.Breaker = cluster.BreakerConfig{FailureThreshold: 3, Cooldown: 50 * time.Millisecond}
+		cfg.HedgeAfter = 40 * time.Millisecond
+		cfg.NodeFaults = func(shard, replica int) (link, device *faultsim.Policy) {
+			if replica == 0 {
+				// Flaky primaries: drops and latency, seeded per shard.
+				return &faultsim.Policy{
+					Seed: uint64(1000 + shard), DropProb: 0.25,
+					LatencyProb: 0.2, ExtraLatency: 60 * time.Millisecond,
+				}, nil
+			}
+			return &faultsim.Policy{Seed: uint64(2000 + shard), DropProb: 0.05}, nil
+		}
+		cs, err := NewClusterSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build the pool from the global corpus so both runs query
+		// every study regardless of sharding.
+		var pool []QuerySpec
+		for _, st := range cs.Studies {
+			pool = append(pool,
+				QuerySpec{StudyID: st.StudyID, Atlas: "Talairach", FullStudy: true},
+				QuerySpec{StudyID: st.StudyID, Atlas: "Talairach", Structure: "ntal"},
+			)
+		}
+		pick := faultsim.NewRand(77)
+		var outs []outcome
+		for i := 0; i < 120; i++ {
+			spec := pool[pick.Intn(len(pool))]
+			res, err := cs.RunQuery(spec)
+			o := outcome{OK: err == nil}
+			if err == nil {
+				o.Node = res.Shard.Node
+				o.Blob = string(marshalResult(t, cs.Nodes[0][0], res))
+				o.Extra = res.Shard.Failovers + res.Shard.Retries
+			} else {
+				o.Err = err.Error()
+			}
+			outs = append(outs, o)
+		}
+		return outs,
+			cs.Metrics.Counter("cluster_failover_total").Value(),
+			cs.Metrics.Counter("cluster_hedged_total").Value(),
+			cs.Cluster.SimNow()
+	}
+	o1, f1, h1, s1 := run()
+	o2, f2, h2, s2 := run()
+	if !reflect.DeepEqual(o1, o2) {
+		t.Error("per-query outcomes diverged between identical degraded runs")
+	}
+	if f1 != f2 || h1 != h2 {
+		t.Errorf("cluster counters diverged: failover %d vs %d, hedged %d vs %d", f1, f2, h1, h2)
+	}
+	if s1 != s2 {
+		t.Errorf("simulated clock diverged: %v vs %v", s1, s2)
+	}
+	if f1 == 0 {
+		t.Error("no failovers happened — degraded workload appears inert")
+	}
+}
+
+// TestClusterScatterGatherRace exercises the concurrent scatter-gather
+// under -race: parallel workers against a cluster with a dead shard
+// must uphold byte-identical-or-typed-partial without data races.
+func TestClusterScatterGatherRace(t *testing.T) {
+	control, want := clusterControl(t)
+	cfg := clusterChaosConfig()
+	cfg.Retry = RetryPolicy{MaxAttempts: 2, Seed: 9}
+	victim := cluster.NewPartitioner(cfg.Shards).Shard(cluster.Key{Patient: control.Studies[0].PatientID, Study: control.Studies[0].StudyID})
+	cfg.NodeFaults = func(shard, replica int) (link, device *faultsim.Policy) {
+		if shard == victim {
+			return deadLink(), nil
+		}
+		return nil, nil
+	}
+	cs, err := NewClusterSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := chaosSpecPool(control)
+	items, partial := cs.RunQueries(pool, 4)
+	for i, item := range items {
+		if sh, _ := cs.Route(item.Spec.StudyID); sh == victim {
+			if item.Err == nil || !errors.Is(item.Err, cluster.ErrShardUnavailable) {
+				t.Fatalf("item %d on dead shard: err = %v, want typed unavailable", i, item.Err)
+			}
+			continue
+		}
+		if item.Err != nil {
+			t.Fatalf("item %d on healthy shard: %v", i, item.Err)
+		}
+		if got := marshalResult(t, control, item.Res); !bytes.Equal(got, want[item.Spec.Key()]) {
+			t.Fatalf("item %d: result differs from control", i)
+		}
+	}
+	if partial == nil || len(partial.Failed) != 1 || partial.Failed[0].Shard != victim {
+		t.Fatalf("partial = %v, want exactly shard %d lost", partial, victim)
 	}
 }

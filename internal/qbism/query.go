@@ -6,6 +6,8 @@ import (
 	"strings"
 	"time"
 
+	"qbism/internal/cluster"
+	"qbism/internal/costmodel"
 	"qbism/internal/dx"
 	"qbism/internal/faultsim"
 	"qbism/internal/obs"
@@ -48,10 +50,38 @@ type QueryResult struct {
 	// Retry reports the query's resilience history: attempts, retries,
 	// and total simulated backoff.
 	Retry RetryStats
+	// Shard, set only for queries served through a ClusterSystem,
+	// reports which shard and node answered and what failover work the
+	// cluster did on the way.
+	Shard *cluster.ReadInfo
 	// Trace is the query's span tree (nil unless Config.Trace): the RPC
 	// round trips, server-side SQL phases and operators, per-handle LFM
 	// I/O, and the DX import/render stages.
 	Trace *obs.Span
+}
+
+// frontEnd is the client-side half of a query — the DX cache, the cost
+// model pricing the work, and the observability sinks. Both the
+// single-node System and the sharded ClusterSystem finish queries
+// through the same frontEnd, so timing, metrics, and slow-log behavior
+// are identical regardless of how the response was fetched.
+type frontEnd struct {
+	cache      *dx.Cache
+	model      costmodel.Model
+	metrics    *obs.Registry
+	slowLog    *obs.SlowLog
+	slowThresh time.Duration
+}
+
+// fe returns the System's frontEnd view.
+func (s *System) fe() frontEnd {
+	return frontEnd{
+		cache:      s.Cache,
+		model:      s.Model,
+		metrics:    s.Metrics,
+		slowLog:    s.SlowLog,
+		slowThresh: s.Cfg.SlowLogThreshold,
+	}
 }
 
 // RunQuery executes a query end to end under the paper's measurement
@@ -110,27 +140,36 @@ func (s *System) runQuerySpan(parent *obs.Span, spec QuerySpec) (*QueryResult, e
 		}
 		retry.LastError = err.Error()
 		if attempt >= pol.MaxAttempts || !RetryableError(err) {
-			return nil, s.failQuery(root, retry, fmt.Errorf("qbism: query failed after %d attempt(s): %w", attempt, err))
+			return nil, s.fe().fail(root, retry, fmt.Errorf("qbism: query failed after %d attempt(s): %w", attempt, err))
 		}
 		retry.Retries++
-		retry.BackoffSim += pol.backoff(attempt, jitter)
+		retry.BackoffSim += pol.Backoff(attempt, jitter)
 		s.Link.NoteRetry()
 	}
 	netDelta := s.Link.Stats().Sub(net0)
+	netSim := s.Model.NetworkTime(netDelta.Messages) + netDelta.LatencySim
 
+	return s.fe().finish(root, spec, meta, blob, retry, netDelta.Messages, netSim, totalStart)
+}
+
+// finish performs the client-side DX stages — import, render, cache —
+// prices the work with the cost model, and feeds the observability
+// sinks. netMessages/netSim describe the network exchange however it
+// was carried (single link or cluster read).
+func (fe frontEnd) finish(root *obs.Span, spec QuerySpec, meta *QueryMeta, blob []byte, retry RetryStats, netMessages uint64, netSim time.Duration, totalStart time.Time) (*QueryResult, error) {
 	importStart := time.Now()
 	importSp := root.Child("dx.import")
 	data, err := UnmarshalDataRegion(blob)
 	if err != nil {
 		importSp.End()
-		return nil, s.failQuery(root, retry, err)
+		return nil, fe.fail(root, retry, err)
 	}
 	field, importStats, err := dx.ImportVolume(data)
 	importSp.SetInt("voxels", int64(importStats.Voxels))
 	importSp.SetInt("runs", int64(importStats.Runs))
 	importSp.End()
 	if err != nil {
-		return nil, s.failQuery(root, retry, err)
+		return nil, fe.fail(root, retry, err)
 	}
 	importDur := time.Since(importStart)
 
@@ -139,10 +178,10 @@ func (s *System) runQuerySpan(parent *obs.Span, spec QuerySpec) (*QueryResult, e
 	img, err := field.Render(dx.RenderOpts{Axis: 2, Mode: dx.MIP})
 	renderSp.End()
 	if err != nil {
-		return nil, s.failQuery(root, retry, err)
+		return nil, fe.fail(root, retry, err)
 	}
 	renderDur := time.Since(renderStart)
-	s.Cache.Put(spec.Key(), field)
+	fe.cache.Put(spec.Key(), field)
 
 	t := QueryTiming{
 		Label:          spec.Label(),
@@ -150,15 +189,15 @@ func (s *System) runQuerySpan(parent *obs.Span, spec QuerySpec) (*QueryResult, e
 		Voxels:         data.Region.NumVoxels(),
 		LFMPages:       meta.LFMPages,
 		DBMeasured:     time.Duration(meta.DBCPUNanos),
-		DBSimReal:      s.Model.StarburstTime(time.Duration(meta.DBCPUNanos), meta.LFMPages),
-		NetMessages:    netDelta.Messages,
-		NetSim:         s.Model.NetworkTime(netDelta.Messages) + netDelta.LatencySim,
+		DBSimReal:      fe.model.StarburstTime(time.Duration(meta.DBCPUNanos), meta.LFMPages),
+		NetMessages:    netMessages,
+		NetSim:         netSim,
 		ImportMeasured: importDur,
-		ImportSim:      s.Model.ImportTime(importStats.Voxels, importStats.Runs),
+		ImportSim:      fe.model.ImportTime(importStats.Voxels, importStats.Runs),
 		RenderMeasured: renderDur,
-		RenderSim:      s.Model.RenderTime(importStats.Voxels),
+		RenderSim:      fe.model.RenderTime(importStats.Voxels),
 		RetrySim:       retry.BackoffSim,
-		OtherSim:       s.Model.OtherTime,
+		OtherSim:       fe.model.OtherTime,
 	}
 	t.TotalSim = t.DBSimReal + t.NetSim + t.ImportSim + t.RenderSim + t.RetrySim + t.OtherSim
 	t.TotalMeasured = time.Since(totalStart)
@@ -171,7 +210,7 @@ func (s *System) runQuerySpan(parent *obs.Span, spec QuerySpec) (*QueryResult, e
 		root.SetStr("degraded", meta.Warning)
 	}
 	root.End()
-	s.observeQuery(spec, t, retry, root)
+	fe.observe(spec, t, retry, root)
 
 	return &QueryResult{
 		Spec: spec, Meta: *meta, Data: data, Field: field, Image: img, Timing: t, Retry: retry,
@@ -179,31 +218,31 @@ func (s *System) runQuerySpan(parent *obs.Span, spec QuerySpec) (*QueryResult, e
 	}, nil
 }
 
-// failQuery finishes a query's observability on the error path: the
-// root span is annotated and ended, and the error counters bump.
-func (s *System) failQuery(root *obs.Span, retry RetryStats, err error) error {
+// fail finishes a query's observability on the error path: the root
+// span is annotated and ended, and the error counters bump.
+func (fe frontEnd) fail(root *obs.Span, retry RetryStats, err error) error {
 	root.SetStr("error", err.Error())
 	root.SetInt("attempts", int64(retry.Attempts))
 	root.SetInt("retries", int64(retry.Retries))
 	root.End()
-	s.Metrics.Counter("qbism_queries_total").Inc()
-	s.Metrics.Counter("qbism_query_errors_total").Inc()
-	s.Metrics.Counter("qbism_retries_total").Add(int64(retry.Retries))
+	fe.metrics.Counter("qbism_queries_total").Inc()
+	fe.metrics.Counter("qbism_query_errors_total").Inc()
+	fe.metrics.Counter("qbism_retries_total").Add(int64(retry.Retries))
 	return err
 }
 
-// observeQuery feeds the metrics registry and, when the query's
-// measured latency reaches the slow-log threshold, captures the full
-// span tree plus the executed plan into the slow-query ring.
-func (s *System) observeQuery(spec QuerySpec, t QueryTiming, retry RetryStats, root *obs.Span) {
-	s.Metrics.Counter("qbism_queries_total").Inc()
-	s.Metrics.Counter("qbism_retries_total").Add(int64(retry.Retries))
-	s.Metrics.Histogram("qbism_query_latency_seconds", obs.LatencyBuckets).
+// observe feeds the metrics registry and, when the query's measured
+// latency reaches the slow-log threshold, captures the full span tree
+// plus the executed plan into the slow-query ring.
+func (fe frontEnd) observe(spec QuerySpec, t QueryTiming, retry RetryStats, root *obs.Span) {
+	fe.metrics.Counter("qbism_queries_total").Inc()
+	fe.metrics.Counter("qbism_retries_total").Add(int64(retry.Retries))
+	fe.metrics.Histogram("qbism_query_latency_seconds", obs.LatencyBuckets).
 		Observe(t.TotalMeasured.Seconds())
-	s.Metrics.Histogram("qbism_query_lfm_pages", obs.PageBuckets).
+	fe.metrics.Histogram("qbism_query_lfm_pages", obs.PageBuckets).
 		Observe(float64(t.LFMPages))
-	if s.SlowLog != nil && root != nil && t.TotalMeasured >= s.Cfg.SlowLogThreshold {
-		s.SlowLog.Add(obs.SlowEntry{
+	if fe.slowLog != nil && root != nil && t.TotalMeasured >= fe.slowThresh {
+		fe.slowLog.Add(obs.SlowEntry{
 			Label:   spec.Label(),
 			Total:   t.TotalMeasured,
 			Tree:    root.RenderString(),

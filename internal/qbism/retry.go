@@ -48,9 +48,11 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// backoff returns the simulated wait before retrying after the given
-// 1-based failed attempt.
-func (p RetryPolicy) backoff(attempt int, rng *faultsim.Rand) time.Duration {
+// Backoff returns the simulated wait before retrying after the given
+// 1-based failed attempt: capped exponential with jitter in [d/2, d).
+// Exported so the cluster layer reuses the exact same schedule for
+// cross-node failover retries.
+func (p RetryPolicy) Backoff(attempt int, rng *faultsim.Rand) time.Duration {
 	d := p.BaseBackoff
 	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
 		d *= 2

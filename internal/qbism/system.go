@@ -53,6 +53,13 @@ type Config struct {
 	ExtraBandEncodings bool
 	// SmallStudies shrinks acquisition grids (for tests).
 	SmallStudies bool
+	// OnlyStudies, when non-nil, loads only the listed study IDs. The
+	// full corpus is still *enumerated* — IDs, patients, and synthesis
+	// seeds are assigned exactly as for a full load — so a node holding
+	// a shard of the corpus stores bytes identical to the same studies
+	// in an unsharded system. Non-listed studies are skipped entirely
+	// (no rows, no device space). An empty non-nil slice loads nothing.
+	OnlyStudies []int
 	// StoreRaw keeps the raw patient-space studies in the database, as
 	// the paper's load pipeline does. Off saves device space.
 	StoreRaw bool
@@ -365,6 +372,13 @@ func (s *System) loadAtlas() error {
 func (s *System) loadStudies() error {
 	side := 1 << s.Cfg.Bits
 	names := []string{"Hughes", "Ramirez", "Okafor", "Lindqvist", "Tanaka", "Moreau", "Petrov", "Osei", "Kim", "Novak"}
+	var only map[int]bool
+	if s.Cfg.OnlyStudies != nil {
+		only = make(map[int]bool, len(s.Cfg.OnlyStudies))
+		for _, id := range s.Cfg.OnlyStudies {
+			only[id] = true
+		}
+	}
 	studyID := 0
 	for i := 0; i < s.Cfg.NumPET+s.Cfg.NumMRI; i++ {
 		modality := synth.PET
@@ -373,6 +387,12 @@ func (s *System) loadStudies() error {
 		}
 		studyID++
 		patientID := i + 1
+		if only != nil && !only[studyID] {
+			// Not this node's shard: the ID/seed slots above stay
+			// consumed so loaded studies match an unsharded load
+			// byte-for-byte.
+			continue
+		}
 		params := synth.Params{
 			StudyID:   studyID,
 			PatientID: patientID,

@@ -39,6 +39,7 @@ package qbism
 
 import (
 	"qbism/internal/atlas"
+	"qbism/internal/cluster"
 	"qbism/internal/dx"
 	"qbism/internal/faultsim"
 	"qbism/internal/feature"
@@ -230,6 +231,41 @@ type (
 
 // NewSystem builds and loads a complete system.
 func NewSystem(cfg Config) (*System, error) { return core.New(cfg) }
+
+// Sharded deployment: the corpus partitioned across K shards of
+// replicated nodes with circuit breaking, read failover, hedged reads,
+// and graceful partial results (ClusterConfig.Shards / -shards on the
+// CLI).
+type (
+	// ClusterSystem is a sharded, replicated QBISM deployment.
+	ClusterSystem = core.ClusterSystem
+	// ClusterConfig parameterizes NewClusterSystem.
+	ClusterConfig = core.ClusterConfig
+	// ClusterKey is a (patient, study) routing key.
+	ClusterKey = cluster.Key
+	// ClusterPartitioner maps routing keys onto shards.
+	ClusterPartitioner = cluster.Partitioner
+	// ClusterReadInfo reports how one cluster read was served.
+	ClusterReadInfo = cluster.ReadInfo
+	// ClusterBreakerConfig configures per-node circuit breakers.
+	ClusterBreakerConfig = cluster.BreakerConfig
+	// PartialResult names the shards lost during a scatter-gather.
+	PartialResult = cluster.PartialResult
+	// ShardFailure is one lost shard with its cause and keys.
+	ShardFailure = cluster.ShardFailure
+)
+
+// ErrShardUnavailable marks a read that exhausted every node and
+// attempt on its shard (match with errors.Is).
+var ErrShardUnavailable = cluster.ErrShardUnavailable
+
+// NewClusterSystem builds a sharded deployment: one full node system
+// per (shard, replica), each loading only its shard of the corpus.
+func NewClusterSystem(cfg ClusterConfig) (*ClusterSystem, error) { return core.NewClusterSystem(cfg) }
+
+// NewClusterPartitioner builds the routing function alone (for
+// inspecting shard placement without loading any data).
+func NewClusterPartitioner(shards int) ClusterPartitioner { return cluster.NewPartitioner(shards) }
 
 // Fault injection and resilience (chaos testing the simulated
 // deployment: Config.LinkFaults, Config.DeviceFaults, Config.Checksums,
