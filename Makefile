@@ -5,7 +5,7 @@
 # to be race-clean), the degraded-shard chaos suite (make chaos),
 # per-package coverage floors, a fuzz smoke pass, and a one-iteration
 # perfbench smoke run. Run `make check` before merging; `make bench`
-# regenerates BENCH_PR6.json through the versioned envelope in
+# regenerates BENCH_PR7.json through the versioned envelope in
 # internal/bench.
 
 GO ?= go
@@ -13,7 +13,7 @@ GO ?= go
 # Packages with an enforced coverage floor, and the floor itself. These
 # are the layers the observability work leans on hardest; keep them
 # honest.
-COVER_PKGS ?= ./internal/obs ./internal/lfm ./internal/sdb ./internal/lint ./internal/cluster ./internal/bench
+COVER_PKGS ?= ./internal/obs ./internal/lfm ./internal/sdb ./internal/lint ./internal/cluster ./internal/bench ./internal/rencode
 COVER_FLOOR ?= 70.0
 
 # Per-target budget for the fuzz smoke pass.
@@ -51,10 +51,13 @@ chaos:
 	$(GO) test -race -run 'Chaos|Cluster|Degraded|Retry|Breaker|Partial|Partition' ./internal/qbism ./internal/cluster
 
 # Short native-fuzz runs over the checked-in seed corpora: the sdb SQL
-# parser and the rencode REGION decoder, $(FUZZTIME) each.
+# parser, the rencode REGION decoder, and the k³-tree parser (probe
+# answers cross-checked against the materialized run list),
+# $(FUZZTIME) each.
 fuzz-smoke:
 	$(GO) test -run '^FuzzParseSQL$$' -fuzz '^FuzzParseSQL$$' -fuzztime=$(FUZZTIME) ./internal/sdb
 	$(GO) test -run '^FuzzDecodeRegion$$' -fuzz '^FuzzDecodeRegion$$' -fuzztime=$(FUZZTIME) ./internal/rencode
+	$(GO) test -run '^FuzzDecodeK3$$' -fuzz '^FuzzDecodeK3$$' -fuzztime=$(FUZZTIME) ./internal/rencode
 
 # Per-package coverage with a hard floor: any listed package under
 # $(COVER_FLOOR)% statement coverage fails the build.
@@ -74,13 +77,14 @@ cover:
 	exit $$fail
 
 # Full performance sweep: the Go micro-benchmarks, then the end-to-end
-# perfbench run that writes BENCH_PR6.json (pages read, cache hit rate,
+# perfbench run that writes BENCH_PR7.json (pages read, cache hit rate,
 # ns/op, serial-vs-parallel speedup on both clocks, the planner's
-# pushdown-on/off page A/B, the tracing overhead A/B, and the cluster's
-# failover/partial-result behavior under dead nodes).
+# pushdown-on/off page A/B, the tracing overhead A/B, the cluster's
+# failover/partial-result behavior under dead nodes, and the queryable
+# k³-tree vs decode-then-probe size/latency table).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .  ./internal/sfc
-	$(GO) run ./cmd/perfbench -out BENCH_PR6.json
+	$(GO) run ./cmd/perfbench -out BENCH_PR7.json
 
 # One tiny iteration through every perfbench measurement — catches read
 # path regressions in CI without the full run's cost.

@@ -2,9 +2,11 @@
 // end — run pruning, gap coalescing, the LFM page cache, the parallel
 // multi-study executor, predicate pushdown A/B, and the observability
 // layer's overhead, plus the sharded cluster's resilience (failover
-// and partial-result behavior under dead nodes) — and writes a
-// machine-readable summary to BENCH_PR6.json through the versioned
-// envelope in internal/bench.
+// and partial-result behavior under dead nodes) and the queryable
+// k³-tree representation (encoded size vs the run codecs, per-call
+// probe and intersection latency vs decode-then-probe, and the
+// auto-vs-runs differential) — and writes a machine-readable summary
+// to BENCH_PR7.json through the versioned envelope in internal/bench.
 //
 // Two clocks appear in the output. Wall-clock nanoseconds depend on the
 // host (its CPU count is recorded under "host" so the parallel numbers
@@ -15,7 +17,7 @@
 // change from host to host. The planner A/B likewise compares LFM page
 // counts, which are exact and host-independent.
 //
-//	perfbench                     # full run, writes BENCH_PR6.json
+//	perfbench                     # full run, writes BENCH_PR7.json
 //	perfbench -smoke -out /tmp/b.json   # one tiny iteration (CI smoke)
 package main
 
@@ -34,7 +36,7 @@ import (
 )
 
 // prTag labels the artifact this tool currently regenerates.
-const prTag = "PR6"
+const prTag = "PR7"
 
 type benchConfig struct {
 	Bits          int    `json:"bits"`
@@ -127,26 +129,52 @@ type clusterReport struct {
 	DegradedIdentical bool    `json:"degraded_identical_results"`
 	// Whole-shard loss: the typed partial names the lost shard and the
 	// surviving results still match the healthy run.
-	LostShards      []int `json:"lost_shards"`
-	LostQueries     int   `json:"lost_queries"`
-	PartialBatches  int64 `json:"partial_batches"`
-	SurvivorsMatch  bool  `json:"survivors_identical_results"`
-	ShardUnavail    int64 `json:"shard_unavailable_reads"`
+	LostShards     []int `json:"lost_shards"`
+	LostQueries    int   `json:"lost_queries"`
+	PartialBatches int64 `json:"partial_batches"`
+	SurvivorsMatch bool  `json:"survivors_identical_results"`
+	ShardUnavail   int64 `json:"shard_unavailable_reads"`
 }
 
 type report struct {
-	Config   benchConfig    `json:"config"`
-	Pruning  pruningReport  `json:"pruning"`
-	GapSweep []gapPoint     `json:"gap_sweep"`
-	Cache    cacheReport    `json:"cache"`
-	Parallel parallelReport `json:"parallel"`
-	Planner  plannerReport  `json:"planner"`
-	Obs      obsReport      `json:"observability"`
-	Cluster  clusterReport  `json:"cluster"`
+	Config    benchConfig     `json:"config"`
+	Pruning   pruningReport   `json:"pruning"`
+	GapSweep  []gapPoint      `json:"gap_sweep"`
+	Cache     cacheReport     `json:"cache"`
+	Parallel  parallelReport  `json:"parallel"`
+	Planner   plannerReport   `json:"planner"`
+	Obs       obsReport       `json:"observability"`
+	Cluster   clusterReport   `json:"cluster"`
+	Queryable queryableReport `json:"queryable"`
+}
+
+// queryableReport compares the k³-tree representation against the run
+// codecs on the largest synthetic structure REGION: encoded size, the
+// per-call cost of answering a point probe from stored bytes (parse +
+// O(depth) descent vs decode-to-runs + binary search), the band ∩
+// structure intersection both ways, the auto-vs-runs result
+// differential, and the planner's per-band representation census.
+type queryableReport struct {
+	Structure           string  `json:"structure"`
+	Voxels              uint64  `json:"voxels"`
+	Runs                int     `json:"runs"`
+	NaiveBytes          int     `json:"naive_bytes"`
+	EliasBytes          int     `json:"elias_bytes"`
+	K3Bytes             int     `json:"k3_bytes"`
+	K3OverElias         float64 `json:"k3_over_elias_size_ratio"`
+	DecodeProbeNsOp     int64   `json:"decode_then_probe_ns_op"`
+	K3ProbeNsOp         int64   `json:"k3_probe_ns_op"`
+	ProbeSpeedup        float64 `json:"probe_speedup"`
+	DecodeIntersectNsOp int64   `json:"decode_intersect_ns_op"`
+	K3IntersectNsOp     int64   `json:"k3_intersect_ns_op"`
+	IntersectSpeedup    float64 `json:"intersect_speedup"`
+	DifferentialOK      bool    `json:"auto_vs_runs_identical"`
+	BandsK3             int     `json:"bands_defaulting_k3"`
+	BandsRuns           int     `json:"bands_defaulting_runs"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "write the JSON report here")
+	out := flag.String("out", "BENCH_PR7.json", "write the JSON report here")
 	smoke := flag.Bool("smoke", false, "tiny single-iteration run (CI smoke test)")
 	bits := flag.Int("bits", 6, "atlas grid bits per axis")
 	pets := flag.Int("pets", 5, "number of PET studies")
@@ -181,6 +209,7 @@ func main() {
 	rep.Planner = measurePlanner(sys, *iters)
 	rep.Obs = measureObs(cfg, *iters)
 	rep.Cluster = measureCluster(cfg, *workers)
+	rep.Queryable = measureQueryable(sys, cfg, *iters)
 
 	env, err := bench.New(prTag, "perfbench", rep)
 	if err != nil {
@@ -211,6 +240,12 @@ func main() {
 	fmt.Printf("cluster %dx(1+%d): %d failovers with a dead primary (identical=%v), shard loss -> %d typed-partial queries (survivors identical=%v)\n",
 		rep.Cluster.Shards, rep.Cluster.Replicas, rep.Cluster.Failovers, rep.Cluster.DegradedIdentical,
 		rep.Cluster.LostQueries, rep.Cluster.SurvivorsMatch)
+	q := rep.Queryable
+	fmt.Printf("queryable(%s, %d voxels): k3 %d B vs elias %d B (%.2fx), probe %s vs %s (%.1fx), band∩structure %s vs %s (%.1fx), auto==runs %v, bands k3/runs %d/%d\n",
+		q.Structure, q.Voxels, q.K3Bytes, q.EliasBytes, q.K3OverElias,
+		time.Duration(q.K3ProbeNsOp), time.Duration(q.DecodeProbeNsOp), q.ProbeSpeedup,
+		time.Duration(q.K3IntersectNsOp), time.Duration(q.DecodeIntersectNsOp), q.IntersectSpeedup,
+		q.DifferentialOK, q.BandsK3, q.BandsRuns)
 	fmt.Printf("wrote %s (schema v%d, %s)\n", *out, env.Schema, prTag)
 }
 
@@ -627,4 +662,169 @@ func ratio(a, b int64) float64 {
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
+}
+
+// probeSink keeps the probe loops from being optimized away.
+var probeSink bool
+
+// measureQueryable benchmarks the queryable k³-tree representation
+// against the run codecs on the largest synthetic structure REGION.
+// Both probe timings price one UDF-style access from stored bytes: the
+// runs path decodes the stored encoding and binary-searches the run
+// list; the k³ path parses the encoded tree (rebuilding its rank
+// directories) and descends the bitmaps. The intersection timings
+// price a mixed band+structure query's region algebra the same way.
+// The differential re-runs the query shapes on a Rencode:"runs" twin
+// of the same corpus and compares result bytes.
+func measureQueryable(sys *qbism.System, cfg qbism.Config, iters int) queryableReport {
+	// Largest structure by voxel count.
+	var biggest int
+	for i, st := range sys.Atlas.Structures {
+		if st.Region.NumVoxels() > sys.Atlas.Structures[biggest].Region.NumVoxels() {
+			biggest = i
+		}
+	}
+	st := sys.Atlas.Structures[biggest]
+	r := queryableReport{
+		Structure: st.Name,
+		Voxels:    st.Region.NumVoxels(),
+		Runs:      st.Region.NumRuns(),
+	}
+	var err error
+	if r.NaiveBytes, err = qbism.EncodedRegionSize(qbism.EncodingNaive, st.Region); err != nil {
+		fail("naive size: %v", err)
+	}
+	if r.EliasBytes, err = qbism.EncodedRegionSize(qbism.EncodingElias, st.Region); err != nil {
+		fail("elias size: %v", err)
+	}
+	if r.K3Bytes, err = qbism.EncodedRegionSize(qbism.EncodingK3Tree, st.Region); err != nil {
+		fail("k3 size: %v", err)
+	}
+	if r.EliasBytes > 0 {
+		r.K3OverElias = float64(r.K3Bytes) / float64(r.EliasBytes)
+	}
+	naiveBytes, err := qbism.EncodeRegion(qbism.EncodingNaive, st.Region)
+	if err != nil {
+		fail("naive encode: %v", err)
+	}
+	k3Bytes, err := qbism.EncodeRegion(qbism.EncodingK3Tree, st.Region)
+	if err != nil {
+		fail("k3 encode: %v", err)
+	}
+
+	// Deterministic probe ids spread across the grid: half known
+	// members, half arbitrary positions.
+	n := st.Region.Curve().Length()
+	var ids []uint64
+	for i := uint64(0); i < 32; i++ {
+		ids = append(ids, (i*2654435761)%n)
+	}
+	st.Region.ForEachID(func(id uint64) bool {
+		ids = append(ids, id)
+		return len(ids) < 64
+	})
+
+	probeIters := iters * 4
+	start := time.Now()
+	for it := 0; it < probeIters; it++ {
+		for _, id := range ids {
+			dec, derr := qbism.DecodeRegion(naiveBytes)
+			if derr != nil {
+				fail("decode: %v", derr)
+			}
+			probeSink = dec.ContainsID(id)
+		}
+	}
+	r.DecodeProbeNsOp = time.Since(start).Nanoseconds() / int64(probeIters*len(ids))
+	start = time.Now()
+	for it := 0; it < probeIters; it++ {
+		for _, id := range ids {
+			p, perr := qbism.ParseK3Tree(k3Bytes)
+			if perr != nil {
+				fail("parse k3: %v", perr)
+			}
+			probeSink = p.ContainsID(id)
+		}
+	}
+	r.K3ProbeNsOp = time.Since(start).Nanoseconds() / int64(probeIters*len(ids))
+	r.ProbeSpeedup = ratio(r.DecodeProbeNsOp, r.K3ProbeNsOp)
+
+	// Band ∩ structure: the mixed query's region algebra, priced from
+	// each band representation's stored bytes.
+	study := sys.Studies[0].StudyID
+	bands := sys.BandRegions[study]
+	band := bands[len(bands)/2].Region
+	bandNaive, err := qbism.EncodeRegion(qbism.EncodingNaive, band)
+	if err != nil {
+		fail("band naive encode: %v", err)
+	}
+	bandK3, err := qbism.EncodeRegion(qbism.EncodingK3Tree, band)
+	if err != nil {
+		fail("band k3 encode: %v", err)
+	}
+	structRuns := st.Region.Runs()
+	start = time.Now()
+	for it := 0; it < probeIters; it++ {
+		dec, derr := qbism.DecodeRegion(bandNaive)
+		if derr != nil {
+			fail("band decode: %v", derr)
+		}
+		probeSink = len(dec.IntersectRuns(structRuns)) > 0
+	}
+	r.DecodeIntersectNsOp = time.Since(start).Nanoseconds() / int64(probeIters)
+	start = time.Now()
+	for it := 0; it < probeIters; it++ {
+		p, perr := qbism.ParseK3Tree(bandK3)
+		if perr != nil {
+			fail("band k3 parse: %v", perr)
+		}
+		probeSink = len(p.IntersectRuns(structRuns)) > 0
+	}
+	r.K3IntersectNsOp = time.Since(start).Nanoseconds() / int64(probeIters)
+	r.IntersectSpeedup = ratio(r.DecodeIntersectNsOp, r.K3IntersectNsOp)
+
+	// Representation census over the auto-loaded corpus.
+	for enc, count := range sys.BandReprCounts() {
+		if enc == qbism.BandEncodingK3Tree {
+			r.BandsK3 += count
+		} else {
+			r.BandsRuns += count
+		}
+	}
+
+	// Differential: every query shape must answer byte-identically on
+	// a runs-only twin of the same corpus.
+	runsCfg := cfg
+	runsCfg.Rencode = qbism.RencodeRuns
+	runsSys, err := qbism.NewSystem(runsCfg)
+	if err != nil {
+		fail("load runs twin: %v", err)
+	}
+	b := bands[len(bands)/2]
+	hi := uint32(sys.Side()/4 - 1)
+	box := [6]uint32{0, 0, 0, hi, hi, hi}
+	specs := []qbism.QuerySpec{
+		{StudyID: study, Atlas: "Talairach", Box: &box},
+		{StudyID: study, Atlas: "Talairach", Structure: st.Name},
+		{StudyID: study, Atlas: "Talairach", HasBand: true, BandLo: int(b.Lo), BandHi: int(b.Hi)},
+		{StudyID: study, Atlas: "Talairach", Structure: st.Name,
+			HasBand: true, BandLo: int(b.Lo), BandHi: int(b.Hi)},
+	}
+	r.DifferentialOK = true
+	for _, spec := range specs {
+		ra, aerr := sys.RunQuery(spec)
+		rb, berr := runsSys.RunQuery(spec)
+		if aerr != nil || berr != nil {
+			fail("differential %s: auto %v, runs %v", spec.Label(), aerr, berr)
+		}
+		ba, aerr := qbism.MarshalDataRegion(ra.Data, sys.Cfg.Method)
+		bb, berr := qbism.MarshalDataRegion(rb.Data, runsSys.Cfg.Method)
+		if aerr != nil || berr != nil {
+			fail("differential marshal %s: %v %v", spec.Label(), aerr, berr)
+		}
+		if !bytes.Equal(ba, bb) {
+			r.DifferentialOK = false
+		}
+	}
+	return r
 }

@@ -1,0 +1,194 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveRank1 is the bit-at-a-time oracle for Rank1.
+func naiveRank1(buf []byte, i int) int {
+	if i > len(buf)*8 {
+		i = len(buf) * 8
+	}
+	n := 0
+	for p := 0; p < i; p++ {
+		if buf[p>>3]&(0x80>>uint(p&7)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// naiveSelect1 is the bit-at-a-time oracle for Select1.
+func naiveSelect1(buf []byte, k int) int {
+	for p := 0; p < len(buf)*8; p++ {
+		if buf[p>>3]&(0x80>>uint(p&7)) != 0 {
+			if k == 0 {
+				return p
+			}
+			k--
+		}
+	}
+	return -1
+}
+
+func randBitmap(rng *rand.Rand, nbytes int, density float64) []byte {
+	buf := make([]byte, nbytes)
+	for i := range buf {
+		var b byte
+		for bit := 0; bit < 8; bit++ {
+			if rng.Float64() < density {
+				b |= 0x80 >> uint(bit)
+			}
+		}
+		buf[i] = b
+	}
+	return buf
+}
+
+func TestRank1AgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, nbytes := range []int{0, 1, 2, 7, 8, 9, 63, 64, 65, 200, 1024} {
+		for _, density := range []float64{0, 0.05, 0.5, 0.95, 1} {
+			buf := randBitmap(rng, nbytes, density)
+			for _, i := range []int{-1, 0, 1, 7, 8, 9, nbytes*4 + 3, nbytes*8 - 1, nbytes * 8, nbytes*8 + 17} {
+				got, want := Rank1(buf, i), 0
+				if i > 0 {
+					want = naiveRank1(buf, i)
+				}
+				if got != want {
+					t.Fatalf("Rank1(%d bytes, i=%d) = %d, want %d", nbytes, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSelect1AgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, nbytes := range []int{0, 1, 8, 65, 200} {
+		for _, density := range []float64{0, 0.1, 0.5, 1} {
+			buf := randBitmap(rng, nbytes, density)
+			ones := naiveRank1(buf, nbytes*8)
+			for _, k := range []int{-1, 0, 1, ones / 2, ones - 1, ones, ones + 5} {
+				got, want := Select1(buf, k), -1
+				if k >= 0 {
+					want = naiveSelect1(buf, k)
+				}
+				if got != want {
+					t.Fatalf("Select1(%d bytes, k=%d) = %d, want %d", nbytes, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRankSelectInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	buf := randBitmap(rng, 300, 0.3)
+	ones := Rank1(buf, len(buf)*8)
+	for k := 0; k < ones; k++ {
+		p := Select1(buf, k)
+		if p < 0 {
+			t.Fatalf("Select1(k=%d) = -1 with %d ones", k, ones)
+		}
+		if got := Rank1(buf, p); got != k {
+			t.Fatalf("Rank1(Select1(%d)=%d) = %d", k, p, got)
+		}
+		if buf[p>>3]&(0x80>>uint(p&7)) == 0 {
+			t.Fatalf("Select1(%d) = %d points at a zero bit", k, p)
+		}
+	}
+}
+
+func TestRankIndexAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, nbits := range []int{0, 1, 8, 511, 512, 513, 1024, 4096 + 37} {
+		nbytes := (nbits + 7) / 8
+		buf := randBitmap(rng, nbytes, 0.4)
+		x := NewRankIndex(buf, nbits)
+		if x.NBits() != nbits {
+			t.Fatalf("NBits = %d, want %d", x.NBits(), nbits)
+		}
+		if want := naiveRank1(buf, nbits); x.Ones() != want {
+			t.Fatalf("Ones = %d, want %d", x.Ones(), want)
+		}
+		for i := -1; i <= nbits+2; i++ {
+			want := 0
+			if i > 0 {
+				j := i
+				if j > nbits {
+					j = nbits
+				}
+				want = naiveRank1(buf, j)
+			}
+			if got := x.Rank1(i); got != want {
+				t.Fatalf("RankIndex(%d bits).Rank1(%d) = %d, want %d", nbits, i, got, want)
+			}
+		}
+		for k := -1; k <= x.Ones()+1; k++ {
+			want := -1
+			if k >= 0 && k < x.Ones() {
+				want = naiveSelect1(buf, k)
+			}
+			if got := x.Select1(k); got != want {
+				t.Fatalf("RankIndex(%d bits).Select1(%d) = %d, want %d", nbits, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRankIndexClampsNBits(t *testing.T) {
+	buf := []byte{0xff, 0xff}
+	if x := NewRankIndex(buf, 100); x.NBits() != 16 || x.Ones() != 16 {
+		t.Fatalf("clamp high: nbits=%d ones=%d", x.NBits(), x.Ones())
+	}
+	if x := NewRankIndex(buf, -5); x.NBits() != 0 || x.Ones() != 0 || x.Select1(0) != -1 {
+		t.Fatal("clamp low failed")
+	}
+	// nbits below the buffer length must ignore trailing bits.
+	if x := NewRankIndex(buf, 3); x.Ones() != 3 || x.Rank1(16) != 3 {
+		t.Fatalf("partial index ones=%d", x.Ones())
+	}
+}
+
+var sinkInt int
+
+func BenchmarkRank1(b *testing.B) {
+	rng := rand.New(rand.NewSource(45))
+	buf := randBitmap(rng, 8192, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += Rank1(buf, (i*977)%(len(buf)*8))
+	}
+	sinkInt = n
+}
+
+func BenchmarkRankIndexRank1(b *testing.B) {
+	rng := rand.New(rand.NewSource(46))
+	buf := randBitmap(rng, 8192, 0.5)
+	x := NewRankIndex(buf, len(buf)*8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += x.Rank1((i * 977) % (len(buf) * 8))
+	}
+	sinkInt = n
+}
+
+func BenchmarkRankIndexSelect1(b *testing.B) {
+	rng := rand.New(rand.NewSource(47))
+	buf := randBitmap(rng, 8192, 0.5)
+	x := NewRankIndex(buf, len(buf)*8)
+	ones := x.Ones()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += x.Select1((i * 613) % ones)
+	}
+	sinkInt = n
+}

@@ -1,0 +1,79 @@
+package costmodel
+
+// Per-REGION representation choice. Storage keeps every REGION either
+// as a run list (the paper's §4.2 codecs — cheap to materialize,
+// cheap to stream into EXTRACT_DATA) or as a k³-tree (queryable in
+// compressed form — point probes and interval tests never touch a run
+// list). The policy below is the planner's tie-breaker, fed by the
+// encoded sizes of both candidates and by the probe fraction the obs
+// layer actually observed on the running system.
+
+// Repr identifies a REGION storage representation.
+type Repr int
+
+const (
+	// ReprRuns is a run-list codec (h-runs + Elias and friends).
+	ReprRuns Repr = iota
+	// ReprK3 is the queryable k³-tree bitmap encoding.
+	ReprK3
+)
+
+// String returns the representation's conventional name.
+func (r Repr) String() string {
+	switch r {
+	case ReprRuns:
+		return "runs"
+	case ReprK3:
+		return "k3-tree"
+	default:
+		return "Repr(?)"
+	}
+}
+
+// ReprPolicy decides, per REGION, which representation to store as the
+// default the planner resolves to.
+type ReprPolicy struct {
+	// SizeSlack is how many times larger than the best run codec the
+	// k³-tree may be and still win on probe-heavy workloads. Beyond it
+	// the size regression outweighs any probe speedup.
+	SizeSlack float64
+	// ProbeCutoff is the minimum observed probe fraction (probe-style
+	// region accesses / all region accesses) at which the k³-tree is
+	// worth its size slack. Below it the workload materializes run
+	// lists anyway, so the runs codec wins.
+	ProbeCutoff float64
+}
+
+// DefaultReprPolicy returns the policy used at load time, before any
+// workload has been observed: accept up to 1.5x the Elias size — the
+// acceptance bound the BENCH tables track — when at least half the
+// accesses are probes. The 0.5 prior matches the Table 3 mix, where
+// CONTAINS-style predicates and EXTRACT_DATA materializations are
+// roughly balanced.
+func DefaultReprPolicy() ReprPolicy {
+	return ReprPolicy{SizeSlack: 1.5, ProbeCutoff: 0.5}
+}
+
+// Pick chooses the representation for one REGION from the encoded
+// sizes of both candidates (bytes) and the probe fraction in [0, 1] —
+// observed when the system has history, a prior otherwise.
+//
+// A k³-tree no larger than the runs encoding wins outright: it is
+// strictly better (same bytes, probes answered in place). A larger one
+// wins only if the workload is probe-heavy enough and the size stays
+// within SizeSlack. Everything else keeps runs. The choice is a pure
+// function of its inputs — replica nodes and the unsharded control
+// must pick identically or the cluster's byte-identity contract
+// breaks.
+func (p ReprPolicy) Pick(sizeRuns, sizeK3 int, probeFrac float64) Repr {
+	if sizeK3 <= 0 || sizeRuns <= 0 {
+		return ReprRuns
+	}
+	if sizeK3 <= sizeRuns {
+		return ReprK3
+	}
+	if probeFrac >= p.ProbeCutoff && float64(sizeK3) <= p.SizeSlack*float64(sizeRuns) {
+		return ReprK3
+	}
+	return ReprRuns
+}

@@ -1,0 +1,50 @@
+package costmodel
+
+import "testing"
+
+func TestReprString(t *testing.T) {
+	if ReprRuns.String() != "runs" || ReprK3.String() != "k3-tree" {
+		t.Fatalf("Repr names: %s, %s", ReprRuns, ReprK3)
+	}
+	if Repr(9).String() != "Repr(?)" {
+		t.Fatalf("unknown repr name: %s", Repr(9))
+	}
+}
+
+func TestReprPolicyPick(t *testing.T) {
+	p := DefaultReprPolicy()
+	for _, tc := range []struct {
+		name             string
+		sizeRuns, sizeK3 int
+		probeFrac        float64
+		want             Repr
+	}{
+		{"k3 smaller wins outright", 100, 80, 0, ReprK3},
+		{"equal size wins", 100, 100, 0, ReprK3},
+		{"slack + probe-heavy wins", 100, 149, 0.6, ReprK3},
+		{"slack boundary inclusive", 100, 150, 0.5, ReprK3},
+		{"beyond slack loses even probe-heavy", 100, 151, 1.0, ReprRuns},
+		{"probe-light loses the slack", 100, 120, 0.49, ReprRuns},
+		{"zero k3 size is invalid", 100, 0, 1.0, ReprRuns},
+		{"zero runs size is invalid", 0, 10, 1.0, ReprRuns},
+	} {
+		if got := p.Pick(tc.sizeRuns, tc.sizeK3, tc.probeFrac); got != tc.want {
+			t.Errorf("%s: Pick(%d, %d, %.2f) = %v, want %v",
+				tc.name, tc.sizeRuns, tc.sizeK3, tc.probeFrac, got, tc.want)
+		}
+	}
+}
+
+// TestReprPolicyDeterministic pins the purity contract: identical
+// inputs must yield identical picks (the cluster's byte-identity
+// depends on replicas choosing the same representation).
+func TestReprPolicyDeterministic(t *testing.T) {
+	p := DefaultReprPolicy()
+	for i := 0; i < 1000; i++ {
+		sr, sk := 1+i%37, 1+(i*7)%53
+		pf := float64(i%11) / 10
+		if p.Pick(sr, sk, pf) != p.Pick(sr, sk, pf) {
+			t.Fatal("Pick is not deterministic")
+		}
+	}
+}

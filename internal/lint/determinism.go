@@ -9,19 +9,25 @@ import (
 
 // DeterminismAnalyzer enforces replayability in the simulation
 // packages (faultsim, netsim, the sharded read path in cluster, and the
-// parallel scheduler in package qbism): no wall-clock reads (time.Now,
-// time.Since, time.After, ...),
+// parallel scheduler in package qbism) and byte-stability in the codec
+// packages (rencode, bitio): no wall-clock reads (time.Now, time.Since,
+// time.After, ...),
 // no process-seeded randomness (top-level math/rand functions or
 // rand.New(rand.NewSource(time.Now...))), and no output assembled in
-// map-iteration order. Those packages replay chaos runs byte-for-byte
-// from a seed and a simulated clock; any of these calls silently breaks
-// replay. Introduced as a convention in PR 1/2.
+// map-iteration order. The simulation packages replay chaos runs
+// byte-for-byte from a seed and a simulated clock; the codec packages
+// must emit canonical bytes (the cluster digest-compares encoded
+// REGIONs across replicas, and the planner's representation pick hashes
+// encoded sizes). Any of these calls silently breaks replay or
+// canonical form. Introduced as a convention in PR 1/2; extended to the
+// codecs with the k³-tree work in PR 7.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid wall-clock, process randomness, and map-order-dependent output in simulation packages",
+	Doc:  "forbid wall-clock, process randomness, and map-order-dependent output in simulation and codec packages",
 	Match: func(pkg *Package) bool {
 		return pkg.Name == "faultsim" || pkg.Name == "netsim" ||
-			pkg.Name == "cluster" || pkg.Name == "qbism"
+			pkg.Name == "cluster" || pkg.Name == "qbism" ||
+			pkg.Name == "rencode" || pkg.Name == "bitio"
 	},
 	Run: runDeterminism,
 }

@@ -228,10 +228,11 @@ func TestDegradedBandRecompute(t *testing.T) {
 	}
 
 	// Flip one stored bit of the band's REGION long field, behind the
-	// checksum table (simulated bit rot).
+	// checksum table (simulated bit rot). The corrupted row must be the
+	// one the default encoding resolves to — the planner's pick.
 	res, err := sys.DB.Exec(fmt.Sprintf(
 		"select ib.region from intensityBand ib where ib.studyId = %d and ib.lo = %d and ib.hi = %d and ib.encoding = '%s'",
-		study, b.Lo, b.Hi, EncHilbertNaive))
+		study, b.Lo, b.Hi, sys.bandEncoding(study, int(b.Lo), int(b.Hi))))
 	if err != nil || len(res.Rows) != 1 {
 		t.Fatalf("band row lookup: %d rows, %v", len(res.Rows), err)
 	}

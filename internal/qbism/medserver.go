@@ -33,7 +33,9 @@ type QuerySpec struct {
 	HasBand bool `json:"hasBand,omitempty"`
 	BandLo  int  `json:"bandLo,omitempty"`
 	BandHi  int  `json:"bandHi,omitempty"`
-	// Encoding selects the band REGION encoding (default EncHilbertNaive).
+	// Encoding selects the band REGION encoding. Empty resolves to the
+	// planner's per-band representation pick (see repr.go) —
+	// EncHilbertNaive when no pick was recorded, as in the seed.
 	Encoding string `json:"encoding,omitempty"`
 }
 
@@ -314,6 +316,13 @@ where  wv.studyId = ? and
 // mid-drain (rows.Err()), not from Exec — querySingle folds both into
 // its error return, so the fallback conditions are unchanged.
 func (s *System) runDataQuery(sp *obs.Span, spec QuerySpec) (blob []byte, warning string, err error) {
+	// An unspecified band encoding resolves to the planner's per-REGION
+	// representation pick before SQL generation, so the generated query
+	// binds a concrete encoding label — the SQL itself stays
+	// representation-agnostic.
+	if spec.HasBand && spec.Encoding == "" {
+		spec.Encoding = s.bandEncoding(spec.StudyID, spec.BandLo, spec.BandHi)
+	}
 	sql, args, err := dataQuerySQL(spec)
 	if err != nil {
 		return nil, "", err

@@ -21,6 +21,12 @@ func planFor(t *testing.T, s *System, spec QuerySpec) (string, []string) {
 	if err != nil {
 		t.Fatalf("ExplainSpec(%s): %v", spec.Label(), err)
 	}
+	// Band queries lead with the representation annotation; the
+	// plan-shape assertions below inspect only the operator tree.
+	// TestExplainSpecBandRepr covers the annotation itself.
+	for len(lines) > 0 && strings.HasPrefix(lines[0], "band repr:") {
+		lines = lines[1:]
+	}
 	return strings.Join(lines, "\n"), lines
 }
 
@@ -164,9 +170,14 @@ func TestExplainSpecAnalyzeCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The band query leads with its representation annotation; every
+	// line after it is an operator line carrying counters.
+	if !strings.HasPrefix(lines[0], "band repr: ") {
+		t.Fatalf("band query missing repr annotation: %q", lines[0])
+	}
+	lines = lines[1:]
 	plan := strings.Join(lines, "\n")
-	// Every operator line carries counters.
-	counter := regexp.MustCompile(`\[in=\d+ out=\d+ udf=\d+ pages=\d+\]$`)
+	counter := regexp.MustCompile(`\[in=\d+ out=\d+ udf=\d+ pages=\d+ probe=\d+\]$`)
 	for _, l := range lines {
 		if !counter.MatchString(l) {
 			t.Errorf("line missing counters: %q", l)
@@ -178,12 +189,12 @@ func TestExplainSpecAnalyzeCounters(t *testing.T) {
 	if !strings.Contains(root, "udf=1 ") {
 		t.Errorf("projection UDF count wrong: %q", root)
 	}
-	if m := regexp.MustCompile(`pages=(\d+)\]$`).FindStringSubmatch(root); m == nil || m[1] == "0" {
+	if m := regexp.MustCompile(`pages=(\d+) probe=\d+\]$`).FindStringSubmatch(root); m == nil || m[1] == "0" {
 		t.Errorf("projection charged no pages: %q", root)
 	}
 	// The pushed band filter compares plain INT columns: zero pages.
 	bf := lineIndex(lines, "(ib.lo = ?)")
-	if bf < 0 || !strings.Contains(lines[bf], "pages=0]") {
+	if bf < 0 || !strings.Contains(lines[bf], "pages=0 probe=0]") {
 		t.Errorf("band filter charged pages it did not read: %q\n%s", lines[bf], plan)
 	}
 }

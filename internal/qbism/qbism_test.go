@@ -56,7 +56,7 @@ func TestSystemLoads(t *testing.T) {
 		"warpedVolume":    4,
 		"atlasStructure":  11,
 		"neuralStructure": 11,
-		"intensityBand":   4 * 8 * 3, // 8 bands x 3 encodings per study
+		"intensityBand":   4 * 8 * 4, // 8 bands x (3 run encodings + k3-tree) per study
 	} {
 		res := s.DB.MustExec("select * from " + table)
 		if len(res.Rows) != wantRows {

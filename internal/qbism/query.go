@@ -263,8 +263,9 @@ func explainFromSpan(root *obs.Span) []string {
 		outRows, _ := sp.Int("rowsOut")
 		udf, _ := sp.Int("udfCalls")
 		pages, _ := sp.Int("lfmPages")
-		out = append(out, fmt.Sprintf("%s%s [in=%d out=%d udf=%d pages=%d]",
-			strings.Repeat("  ", depth), sp.Name(), in, outRows, udf, pages))
+		probe, _ := sp.Int("probeFast")
+		out = append(out, fmt.Sprintf("%s%s [in=%d out=%d udf=%d pages=%d probe=%d]",
+			strings.Repeat("  ", depth), sp.Name(), in, outRows, udf, pages, probe))
 		for _, c := range sp.Children() {
 			operators(c, depth+1)
 		}
@@ -311,8 +312,20 @@ func (s *System) RunQueryCached(spec QuerySpec) (*QueryResult, bool, error) {
 // where the planner placed each spatial predicate relative to the
 // extractVoxels() projection. With analyze set the query actually
 // executes and each line carries its runtime counters (rows in/out,
-// UDF calls, LFM pages charged to that operator's expressions).
+// UDF calls, LFM pages charged to that operator's expressions). Band
+// queries are prefixed with a "band repr:" line naming the REGION
+// representation the query resolves to and whether the planner picked
+// it or the spec forced it.
 func (s *System) ExplainSpec(spec QuerySpec, analyze bool) ([]string, error) {
+	var lines []string
+	if spec.HasBand {
+		src := "forced"
+		if spec.Encoding == "" {
+			spec.Encoding = s.bandEncoding(spec.StudyID, spec.BandLo, spec.BandHi)
+			src = "planner-selected"
+		}
+		lines = append(lines, fmt.Sprintf("band repr: %s (%s)", spec.Encoding, src))
+	}
 	sql, args, err := dataQuerySQL(spec)
 	if err != nil {
 		return nil, err
@@ -325,9 +338,8 @@ func (s *System) ExplainSpec(spec QuerySpec, analyze bool) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	lines := make([]string, len(res.Rows))
-	for i, row := range res.Rows {
-		lines[i] = row[0].S
+	for _, row := range res.Rows {
+		lines = append(lines, row[0].S)
 	}
 	return lines, nil
 }

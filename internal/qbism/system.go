@@ -30,6 +30,10 @@ const (
 	EncZNaive = "z-naive"
 	// EncOctant is regular octants in Z order, 4 bytes per octant.
 	EncOctant = "octant"
+	// EncK3Tree is the queryable k³-tree bitmap encoding in Hilbert
+	// order: probes (CONTAINS, point membership, interval tests) answer
+	// directly on the compressed bytes.
+	EncK3Tree = "k3-tree"
 )
 
 // Config parameterizes a System.
@@ -44,6 +48,14 @@ type Config struct {
 	// Method is the primary REGION storage encoding (default Naive, as
 	// in the measured experiments; Elias is the paper's space winner).
 	Method rencode.Method
+	// Rencode selects the per-REGION representation strategy. "auto"
+	// (the default) stores each band REGION both as runs and as a
+	// k³-tree and lets costmodel.ReprPolicy pick, per REGION, which one
+	// default queries resolve to; atlas structures store whichever of
+	// Method and the k³-tree encodes smaller. "runs" reproduces the
+	// seed exactly (run-list codecs only, no k³ rows). A rencode method
+	// name (e.g. "k3-tree", "elias") forces that encoding everywhere.
+	Rencode string
 	// BandWidth is the intensity band width (default 32 -> 8 bands).
 	BandWidth int
 	// WithMeshes builds and stores structure surface meshes.
@@ -143,6 +155,9 @@ func (c Config) withDefaults() Config {
 	if c.SlowLogCapacity == 0 {
 		c.SlowLogCapacity = 32
 	}
+	if c.Rencode == "" {
+		c.Rencode = RencodeAuto
+	}
 	if c.DeviceBytes == 0 {
 		volBytes := uint64(1) << (3 * c.Bits)
 		perStudy := volBytes * 8 // warped + raw + bands + slack
@@ -198,6 +213,13 @@ type System struct {
 	// the representation experiments (E1-E3); the authoritative copies
 	// live in the intensityBand table.
 	BandRegions map[int][]volume.BandSpec
+
+	// bandRepr records, per stored band, the encoding label a band query
+	// with no explicit Encoding resolves to — the planner's per-REGION
+	// representation pick (see repr.go). Loaded sequentially, then read
+	// by concurrent query workers and rewritten by AdaptBandRepr.
+	reprMu   sync.RWMutex
+	bandRepr map[bandKey]string // guarded by reprMu
 }
 
 // New builds, loads, and wires up a complete system: schema, atlas,
@@ -205,6 +227,9 @@ type System struct {
 // UDFs, and the MedicalServer RPC endpoint.
 func New(cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
+	if err := validateRencode(cfg.Rencode); err != nil {
+		return nil, err
+	}
 	curve, err := sfc.New(sfc.Hilbert, 3, cfg.Bits)
 	if err != nil {
 		return nil, err
@@ -240,6 +265,7 @@ func New(cfg Config) (*System, error) {
 		Cache:       dx.NewCache(8),
 		AtlasID:     1,
 		BandRegions: make(map[int][]volume.BandSpec),
+		bandRepr:    make(map[bandKey]string),
 	}
 	s.DB.SetPushdown(!cfg.DisablePushdown)
 	if err := s.createSchema(); err != nil {
@@ -343,7 +369,7 @@ func (s *System) loadAtlas() error {
 			`insert into neuralStructure values (%d, '%s', %d)`, st.ID, st.Name, sysID)); err != nil {
 			return err
 		}
-		enc, err := rencode.Encode(s.Cfg.Method, st.Region)
+		enc, err := s.encodeStructure(st.Region)
 		if err != nil {
 			return err
 		}
@@ -481,6 +507,9 @@ func (s *System) loadStudies() error {
 					}
 				}
 			}
+			if err := s.loadBandRepr(studyID, b); err != nil {
+				return err
+			}
 		}
 		s.Studies = append(s.Studies, StudyInfo{StudyID: studyID, PatientID: patientID, Modality: modality})
 	}
@@ -488,7 +517,9 @@ func (s *System) loadStudies() error {
 }
 
 // storeBand encodes one band REGION under the named encoding and inserts
-// the intensityBand row.
+// the intensityBand row. Labels not in the fixed set resolve through
+// rencode.MethodByName and encode on the storage (Hilbert) curve — this
+// is how the k3-tree rows and forced Rencode methods are stored.
 func (s *System) storeBand(studyID int, b volume.BandSpec, encoding string) error {
 	var data []byte
 	var err error
@@ -508,7 +539,11 @@ func (s *System) storeBand(studyID int, b volume.BandSpec, encoding string) erro
 		}
 		data, err = rencode.Encode(rencode.Octant, rz)
 	default:
-		return fmt.Errorf("qbism: unknown band encoding %q", encoding)
+		m, ok := rencode.MethodByName(encoding)
+		if !ok {
+			return fmt.Errorf("qbism: unknown band encoding %q", encoding)
+		}
+		data, err = rencode.Encode(m, b.Region)
 	}
 	if err != nil {
 		return err

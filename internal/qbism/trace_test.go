@@ -142,10 +142,12 @@ func TestDegradedCounterIncrementsOncePerQuery(t *testing.T) {
 		t.Fatalf("healthy query bumped qbism_degraded_total to %d", got)
 	}
 
-	// Bit-rot the stored band REGION behind the checksum table.
+	// Bit-rot the stored band REGION behind the checksum table — the
+	// row the default encoding resolves to (the planner's pick, which
+	// may be the k³-tree row rather than h-naive).
 	res, err := sys.DB.Exec(fmt.Sprintf(
 		"select ib.region from intensityBand ib where ib.studyId = %d and ib.lo = %d and ib.hi = %d and ib.encoding = '%s'",
-		study, b.Lo, b.Hi, EncHilbertNaive))
+		study, b.Lo, b.Hi, sys.bandEncoding(study, int(b.Lo), int(b.Hi))))
 	if err != nil || len(res.Rows) != 1 {
 		t.Fatalf("band row lookup: %v", err)
 	}

@@ -20,10 +20,30 @@ import (
 func (s *System) registerSpatialUDFs() error {
 	udfs := []*sdb.UDF{
 		{
-			// INTERSECTION(REGION r1, REGION r2) -> REGION
+			// INTERSECTION(REGION r1, REGION r2) -> REGION. The first
+			// operand stays queryable: a k³-tree band intersects the
+			// structure's run list by pruned tree descent on the encoded
+			// bytes, never materializing its own runs.
 			Name: "intersection", MinArgs: 2, MaxArgs: 2, Cost: 20,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
-				return s.regionBinop(db, args, region.Intersect)
+				a, err := s.queryableFromValue(db, args[0])
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				b, err := regionFromValue(db, args[1])
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				if a.Curve().Kind() != b.Curve().Kind() {
+					if b, err = b.Recode(a.Curve()); err != nil {
+						return sdb.Value{}, err
+					}
+				}
+				out, err := region.IntersectQ(a, b)
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				return s.encodeRegionValue(out)
 			},
 		},
 		{
@@ -41,10 +61,12 @@ func (s *System) registerSpatialUDFs() error {
 			},
 		},
 		{
-			// CONTAINS(REGION r1, REGION r2) -> BOOLEAN
-			Name: "contains", MinArgs: 2, MaxArgs: 2, Cost: 20,
+			// CONTAINS(REGION r1, REGION r2) -> BOOLEAN. The container
+			// stays queryable: each run of r2 is one coverage probe
+			// against r1's stored representation.
+			Name: "contains", MinArgs: 2, MaxArgs: 2, Cost: 20, ProbeOnly: true,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
-				a, err := regionFromValue(db, args[0])
+				a, err := s.queryableFromValue(db, args[0])
 				if err != nil {
 					return sdb.Value{}, err
 				}
@@ -52,11 +74,36 @@ func (s *System) registerSpatialUDFs() error {
 				if err != nil {
 					return sdb.Value{}, err
 				}
-				ok, err := region.Contains(a, b)
+				ok, err := region.ContainsQ(a, b)
 				if err != nil {
 					return sdb.Value{}, err
 				}
 				return sdb.Bool(ok), nil
+			},
+		},
+		{
+			// containsPoint(REGION r, x, y, z) -> BOOLEAN: point
+			// membership. On a k³-tree REGION this is an O(depth) descent
+			// over the encoded bitmaps — no decode, no run list — which
+			// is why its Cost sits just above boxRegion's.
+			Name: "containsPoint", MinArgs: 4, MaxArgs: 4, Cost: 2, ProbeOnly: true,
+			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
+				q, err := s.queryableFromValue(db, args[0])
+				if err != nil {
+					return sdb.Value{}, err
+				}
+				if q.Curve().Dim() != 3 {
+					return sdb.Value{}, fmt.Errorf("containsPoint: REGION is %dD, want 3D", q.Curve().Dim())
+				}
+				side := int64(1) << uint(q.Curve().Bits())
+				var c [3]uint32
+				for i, a := range args[1:] {
+					if a.T != sdb.TInt || a.I < 0 || a.I >= side {
+						return sdb.Value{}, fmt.Errorf("containsPoint: coordinate %d must be in [0,%d)", i+1, side)
+					}
+					c[i] = uint32(a.I)
+				}
+				return sdb.Bool(q.ContainsID(q.Curve().ID(sfc.Pt(c[0], c[1], c[2])))), nil
 			},
 		},
 		{
@@ -138,38 +185,56 @@ func (s *System) registerSpatialUDFs() error {
 			// intersection of the multi-study queries (Table 4).
 			Name: "nIntersect", MinArgs: 1, MaxArgs: -1, Cost: 20,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
-				regions := make([]*region.Region, len(args))
-				for i, a := range args {
-					r, err := regionFromValue(db, a)
+				// Compressed probes stay encoded; everything else
+				// materializes and, when stored in another order (z,
+				// octant), normalizes onto the system curve.
+				var probes []region.Queryable
+				var regions []*region.Region
+				for _, a := range args {
+					q, err := s.queryableFromValue(db, a)
 					if err != nil {
 						return sdb.Value{}, err
 					}
-					regions[i] = r
+					if r, ok := q.(*region.Region); ok {
+						rc, err := r.Recode(s.curveFor(r))
+						if err != nil {
+							return sdb.Value{}, err
+						}
+						regions = append(regions, rc)
+						continue
+					}
+					probes = append(probes, q)
 				}
-				// Regions stored in different orders (z, octant) are
-				// normalized onto the system curve before intersecting.
-				for i, r := range regions {
-					rc, err := r.Recode(s.curveFor(r))
-					if err != nil {
+				var out *region.Region
+				var err error
+				if len(regions) > 0 {
+					if out, err = region.IntersectN(regions...); err != nil {
 						return sdb.Value{}, err
 					}
-					regions[i] = rc
+				} else {
+					out = region.Full(probes[0].Curve())
 				}
-				out, err := region.IntersectN(regions...)
-				if err != nil {
-					return sdb.Value{}, err
+				// Each probe then prunes the accumulated run list on its
+				// encoded bytes — the narrowest operand first would prune
+				// hardest, but argument order keeps results reproducible.
+				for _, p := range probes {
+					if out, err = region.IntersectQ(p, out); err != nil {
+						return sdb.Value{}, err
+					}
 				}
 				return s.encodeRegionValue(out)
 			},
 		},
 		{
-			Name: "numVoxels", MinArgs: 1, MaxArgs: 1, Cost: 10,
+			// numVoxels never needs a run list: the k³-tree header carries
+			// the count, so a compressed REGION answers from 12 bytes.
+			Name: "numVoxels", MinArgs: 1, MaxArgs: 1, Cost: 10, ProbeOnly: true,
 			Fn: func(db *sdb.DB, args []sdb.Value) (sdb.Value, error) {
-				r, err := regionFromValue(db, args[0])
+				q, err := s.queryableFromValue(db, args[0])
 				if err != nil {
 					return sdb.Value{}, err
 				}
-				return sdb.Int(int64(r.NumVoxels())), nil
+				return sdb.Int(int64(q.NumVoxels())), nil
 			},
 		},
 		{
@@ -247,4 +312,73 @@ func (s *System) curveFor(r *region.Region) sfc.Curve {
 		return r.Curve()
 	}
 	return s.Curve
+}
+
+// Per-access representation counters: how often a REGION operand was
+// answered on its compressed bytes versus materialized as a run list.
+// Their ratio is the observed probe fraction AdaptBandRepr feeds back
+// into the representation policy.
+const (
+	metricRegionProbes  = "qbism_region_probe_total"
+	metricRegionDecodes = "qbism_region_decode_total"
+)
+
+// queryableFromValue is regionFromValue's compressed fast path: a
+// k³-tree-encoded value comes back as a *rencode.K3Probe, whose probes
+// answer directly on the encoded bytes — no run list is ever
+// materialized — while every other representation decodes as before
+// (a *region.Region is itself Queryable). Long-field reads are charged
+// identically on both paths; only the decode is skipped.
+func (s *System) queryableFromValue(db *sdb.DB, v sdb.Value) (region.Queryable, error) {
+	var data []byte
+	switch v.T {
+	case sdb.TLong:
+		d, err := db.LFM().Read(v.L)
+		if err != nil {
+			return nil, err
+		}
+		data = d
+	case sdb.TBytes:
+		if len(v.Y) > 0 && v.Y[0] == dataRegionTag {
+			d, err := UnmarshalDataRegion(v.Y)
+			if err != nil {
+				return nil, err
+			}
+			s.noteRegionDecode()
+			return d.Region, nil
+		}
+		data = v.Y
+	default:
+		return nil, fmt.Errorf("qbism: expected a REGION (LONG or BYTES), got %s", v.T)
+	}
+	if m, ok := rencode.MethodOf(data); ok && m == rencode.K3Tree {
+		p, err := rencode.ParseK3(data)
+		if err != nil {
+			return nil, err
+		}
+		s.noteRegionProbe(db)
+		return p, nil
+	}
+	r, err := rencode.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	s.noteRegionDecode()
+	return r, nil
+}
+
+// noteRegionProbe records one compressed fast-path REGION access, both
+// at the qbism level (the policy's demand signal) and at the sdb level
+// (the per-operator probe counter EXPLAIN ANALYZE shows).
+func (s *System) noteRegionProbe(db *sdb.DB) {
+	db.NoteProbeFastPath()
+	if s.Metrics != nil {
+		s.Metrics.Counter(metricRegionProbes).Inc()
+	}
+}
+
+func (s *System) noteRegionDecode() {
+	if s.Metrics != nil {
+		s.Metrics.Counter(metricRegionDecodes).Inc()
+	}
 }

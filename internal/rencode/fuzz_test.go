@@ -64,6 +64,95 @@ func FuzzDecodeRegion(f *testing.F) {
 	})
 }
 
+// FuzzDecodeK3 drives the k³-tree parser specifically: ParseK3 must
+// return a probe or a wrapped error, never panic, and anything it
+// accepts must (a) re-encode byte-identically after materialization —
+// the canonical-form contract — and (b) answer ContainsID identically
+// to the materialized run list, so a forged bitmap can't silently
+// desynchronize the probe from the decode. The checked-in corpus
+// includes a hand-forged truncated-bitmap crasher seed
+// (testdata/fuzz/FuzzDecodeK3/truncated_bitmap): a valid header and
+// gray root whose level payload is cut mid-bitmap.
+func FuzzDecodeK3(f *testing.F) {
+	curve, err := sfc.New(sfc.Hilbert, 3, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	shapes := [][]region.Run{
+		nil,
+		{{Lo: 0, Hi: curve.Length() - 1}},
+		{{Lo: 3, Hi: 9}, {Lo: 17, Hi: 17}, {Lo: 40, Hi: 63}},
+		{{Lo: 0, Hi: 7}, {Lo: 64, Hi: 127}, {Lo: 300, Hi: 511}},
+	}
+	for _, runs := range shapes {
+		r, err := region.FromRuns(curve, runs)
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc, err := Encode(K3Tree, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		if len(enc) > headerLen+1 {
+			f.Add(enc[:len(enc)-1])
+			flipped := bytes.Clone(enc)
+			flipped[headerLen+1+(len(flipped)-headerLen-1)/2] ^= 0x10
+			f.Add(flipped)
+		}
+	}
+	// A 2D (degree-4) seed so the nibble-group validation path is in
+	// the corpus too.
+	c2 := sfc.MustNew(sfc.ZOrder, 2, 3)
+	r2, err := region.FromRuns(c2, []region.Run{{Lo: 2, Hi: 20}, {Lo: 40, Hi: 41}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc2, err := Encode(K3Tree, r2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc2)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseK3(data)
+		if err != nil {
+			// Rejected input must also be rejected by the generic
+			// decoder when it names this method.
+			if len(data) > 0 && data[0] == byte(K3Tree) {
+				if _, derr := Decode(data); derr == nil {
+					t.Fatal("ParseK3 rejected what Decode accepted")
+				}
+			}
+			return
+		}
+		dec, err := p.Region()
+		if err != nil {
+			t.Fatalf("accepted probe failed to materialize: %v", err)
+		}
+		checkRunInvariants(t, dec, "fuzz k3")
+		if dec.NumVoxels() != p.NumVoxels() {
+			t.Fatalf("probe reports %d voxels, run list holds %d", p.NumVoxels(), dec.NumVoxels())
+		}
+		enc, err := Encode(K3Tree, dec)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(data, enc) {
+			t.Fatalf("accepted non-canonical k3 input: %d bytes in, %d bytes re-encoded", len(data), len(enc))
+		}
+		// Probe answers must match the materialized oracle.
+		n := dec.Curve().Length()
+		step := n/257 + 1
+		for id := uint64(0); id < n; id += step {
+			if p.ContainsID(id) != dec.ContainsID(id) {
+				t.Fatalf("ContainsID(%d) diverges from the run list", id)
+			}
+		}
+	})
+}
+
 func regionsEqual(a, b *region.Region) bool {
 	ra, rb := a.Runs(), b.Runs()
 	if len(ra) != len(rb) {

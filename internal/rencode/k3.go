@@ -1,0 +1,554 @@
+// The k³-tree REGION encoding (Brisaboa et al., "Extending General
+// Compact Queryable Representations to GIS Applications", adapted to
+// curve-id space): an octree of per-level bitmaps that answers
+// membership and range queries directly on the encoded bytes.
+//
+// Both Hilbert and Z curves map every aligned id block
+// [j·8^r, (j+1)·8^r) to an axis-aligned cube of side 2^r, so an octree
+// over id space IS a spatial octree: node (level ℓ, slot j) covers the
+// id interval [base, base+span) with span = degree^(bits-ℓ) and
+// degree = 2^dim. The payload is:
+//
+//	byte 0:            root color — 0 empty, 1 full, 2 gray
+//	for each level ℓ = 1..bits while gray nodes remain:
+//	    F_ℓ  full bitmap, one bit per child slot, byte-padded
+//	    M_ℓ  mixed bitmap (omitted at the leaf level), byte-padded
+//
+// Level ℓ holds degree·(number of mixed slots at level ℓ-1) slots, in
+// BFS order; the children of the j-th slot whose M bit is set start at
+// slot degree·rank₁(M_ℓ, j) of level ℓ+1. The decoder rebuilds a
+// bitio.RankIndex per M bitmap at parse time — the directories are
+// probe-side state, never stored, which keeps the encoded size
+// competitive with the delta codecs.
+//
+// The encoding is canonical and the parser enforces it: a full or
+// empty subtree must collapse into its parent (no all-full or
+// all-empty child group under a gray node), F and M are disjoint,
+// padding bits are zero, there are no trailing bytes, and the header
+// count must equal the voxel total implied by the F bitmaps. Canonical
+// form is what makes Decode→Encode byte-identical, which the fuzz
+// harness relies on.
+package rencode
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"qbism/internal/bitio"
+	"qbism/internal/region"
+	"qbism/internal/sfc"
+)
+
+// Root color byte of the k³-tree payload.
+const (
+	k3Empty = 0
+	k3Full  = 1
+	k3Gray  = 2
+)
+
+// k3Classify labels a child interval [lo, hi] against the sorted run
+// list, advancing *ri past runs that end before lo. Because the walk
+// visits child intervals in globally increasing id order, one pointer
+// serves the whole level sweep.
+func k3Classify(runs []region.Run, ri *int, lo, hi uint64) byte {
+	for *ri < len(runs) && runs[*ri].Hi < lo {
+		*ri++
+	}
+	switch {
+	case *ri >= len(runs) || runs[*ri].Lo > hi:
+		return k3Empty
+	case runs[*ri].Lo <= lo && runs[*ri].Hi >= hi:
+		return k3Full
+	default:
+		return k3Gray
+	}
+}
+
+// encodeK3 serializes r's octree payload (no header).
+func encodeK3(r *region.Region) []byte {
+	c := r.Curve()
+	dim, nbits := c.Dim(), c.Bits()
+	degree := 1 << uint(dim)
+	runs := r.Runs()
+	switch {
+	case len(runs) == 0:
+		return []byte{k3Empty}
+	case len(runs) == 1 && runs[0].Lo == 0 && runs[0].Hi == c.Length()-1:
+		return []byte{k3Full}
+	}
+	payload := []byte{k3Gray}
+	grays := []uint64{0}
+	for lvl := 1; lvl <= nbits && len(grays) > 0; lvl++ {
+		span := uint64(1) << uint(dim*(nbits-lvl))
+		leaf := lvl == nbits
+		var fw, mw bitio.Writer
+		var next []uint64
+		ri := 0
+		for _, g := range grays {
+			for child := 0; child < degree; child++ {
+				lo := g + uint64(child)*span
+				switch k3Classify(runs, &ri, lo, lo+span-1) {
+				case k3Empty:
+					fw.WriteBit(0)
+					if !leaf {
+						mw.WriteBit(0)
+					}
+				case k3Full:
+					fw.WriteBit(1)
+					if !leaf {
+						mw.WriteBit(0)
+					}
+				default: // gray; unreachable at the leaf, where span is 1
+					fw.WriteBit(0)
+					mw.WriteBit(1)
+					next = append(next, lo)
+				}
+			}
+		}
+		payload = append(payload, fw.Bytes()...)
+		if !leaf {
+			payload = append(payload, mw.Bytes()...)
+		}
+		grays = next
+	}
+	return payload
+}
+
+// k3PayloadSize returns len(encodeK3(r)) without materializing the
+// bitmaps: it repeats the classification sweep counting slots only.
+func k3PayloadSize(r *region.Region) int {
+	c := r.Curve()
+	dim, nbits := c.Dim(), c.Bits()
+	degree := 1 << uint(dim)
+	runs := r.Runs()
+	switch {
+	case len(runs) == 0, len(runs) == 1 && runs[0].Lo == 0 && runs[0].Hi == c.Length()-1:
+		return 1
+	}
+	size := 1
+	grays := []uint64{0}
+	for lvl := 1; lvl <= nbits && len(grays) > 0; lvl++ {
+		span := uint64(1) << uint(dim*(nbits-lvl))
+		leaf := lvl == nbits
+		var next []uint64
+		ri := 0
+		for _, g := range grays {
+			for child := 0; child < degree; child++ {
+				lo := g + uint64(child)*span
+				if k3Classify(runs, &ri, lo, lo+span-1) == k3Gray {
+					next = append(next, lo)
+				}
+			}
+		}
+		nb := (degree*len(grays) + 7) / 8
+		if leaf {
+			size += nb
+		} else {
+			size += 2 * nb
+		}
+		grays = next
+	}
+	return size
+}
+
+// k3Level is one decoded tree level: n child slots, the full and mixed
+// bitmaps (m nil at the leaf level), and the rank directory over m.
+type k3Level struct {
+	n     int
+	f     []byte
+	m     []byte
+	mrank *bitio.RankIndex
+}
+
+// K3Probe is a validated, queryable view over a K3Tree encoding. All
+// probe methods operate on the encoded bitmaps — no run list is ever
+// materialized unless Region is called. A probe is immutable and safe
+// for concurrent use.
+type K3Probe struct {
+	curve  sfc.Curve
+	dim    int
+	bits   int
+	degree int
+	root   byte
+	levels []k3Level
+	voxels uint64
+}
+
+var _ region.Queryable = (*K3Probe)(nil)
+
+// ParseK3 validates a K3Tree-encoded REGION (header included) and
+// builds the per-level rank directories. The probe aliases data; the
+// caller must not mutate it afterwards.
+func ParseK3(data []byte) (*K3Probe, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if m := Method(data[0]); m != K3Tree {
+		return nil, fmt.Errorf("rencode: ParseK3 on a %v encoding", m)
+	}
+	curve, err := sfc.New(sfc.Kind(data[1]), int(data[2]), int(data[3]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad curve header: %v", ErrCorrupt, err)
+	}
+	count := binary.BigEndian.Uint64(data[4:12])
+	return parseK3Body(curve, count, data[headerLen:])
+}
+
+// parseK3Body parses and fully validates the payload: level sizes,
+// zero padding, F∩M disjointness, canonical child groups, no trailing
+// bytes, and the header count against the F-bitmap voxel total.
+func parseK3Body(curve sfc.Curve, count uint64, body []byte) (*K3Probe, error) {
+	p := &K3Probe{
+		curve:  curve,
+		dim:    curve.Dim(),
+		bits:   curve.Bits(),
+		degree: 1 << uint(curve.Dim()),
+		voxels: count,
+	}
+	if count > curve.Length() {
+		return nil, fmt.Errorf("%w: %d voxels on a %d-position curve", ErrCorrupt, count, curve.Length())
+	}
+	if len(body) < 1 {
+		return nil, fmt.Errorf("%w: missing k3 root byte", ErrCorrupt)
+	}
+	p.root = body[0]
+	rest := body[1:]
+	switch p.root {
+	case k3Empty, k3Full:
+		want := uint64(0)
+		if p.root == k3Full {
+			want = curve.Length()
+		}
+		if count != want {
+			return nil, fmt.Errorf("%w: k3 root color %d with count %d", ErrCorrupt, p.root, count)
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes after k3 root", ErrCorrupt, len(rest))
+		}
+		return p, nil
+	case k3Gray:
+	default:
+		return nil, fmt.Errorf("%w: bad k3 root color %d", ErrCorrupt, p.root)
+	}
+	prevGray := 1
+	var voxels uint64
+	for lvl := 1; lvl <= p.bits && prevGray > 0; lvl++ {
+		n := p.degree * prevGray
+		nb := (n + 7) / 8
+		leaf := lvl == p.bits
+		need := nb
+		if !leaf {
+			need = 2 * nb
+		}
+		if len(rest) < need {
+			return nil, fmt.Errorf("%w: k3 level %d truncated (%d of %d bytes)", ErrCorrupt, lvl, len(rest), need)
+		}
+		lv := k3Level{n: n, f: rest[:nb]}
+		if !leaf {
+			lv.m = rest[nb : 2*nb]
+		}
+		rest = rest[need:]
+		if pad := uint(nb*8 - n); pad > 0 {
+			mask := byte(1)<<pad - 1
+			if lv.f[nb-1]&mask != 0 || (!leaf && lv.m[nb-1]&mask != 0) {
+				return nil, fmt.Errorf("%w: nonzero padding bits at k3 level %d", ErrCorrupt, lvl)
+			}
+		}
+		if err := k3CheckGroups(&lv, p.degree, leaf, lvl); err != nil {
+			return nil, err
+		}
+		if !leaf {
+			lv.mrank = bitio.NewRankIndex(lv.m, n)
+			prevGray = lv.mrank.Ones()
+		} else {
+			prevGray = 0
+		}
+		voxels += uint64(bitio.Rank1(lv.f, n)) << uint(p.dim*(p.bits-lvl))
+		p.levels = append(p.levels, lv)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after k3 levels", ErrCorrupt, len(rest))
+	}
+	if voxels != count {
+		return nil, fmt.Errorf("%w: k3 header count %d, bitmaps hold %d voxels", ErrCorrupt, count, voxels)
+	}
+	return p, nil
+}
+
+// k3CheckGroups enforces per-group canonical form at one level: F and
+// M disjoint, and no child group that is entirely full or entirely
+// empty (either must have collapsed into the parent's color).
+func k3CheckGroups(lv *k3Level, degree int, leaf bool, lvl int) error {
+	if degree == 8 {
+		for i := 0; i < len(lv.f); i++ {
+			fb := lv.f[i]
+			var mb byte
+			if !leaf {
+				mb = lv.m[i]
+			}
+			switch {
+			case fb&mb != 0:
+				return fmt.Errorf("%w: k3 level %d slot both full and mixed", ErrCorrupt, lvl)
+			case fb == 0xff:
+				return fmt.Errorf("%w: k3 level %d all-full child group", ErrCorrupt, lvl)
+			case fb|mb == 0:
+				return fmt.Errorf("%w: k3 level %d all-empty child group", ErrCorrupt, lvl)
+			}
+		}
+		return nil
+	}
+	// degree 4 (2D curves): two groups per byte, high nibble first.
+	for g := 0; g < lv.n/4; g++ {
+		shift := uint(4 - 4*(g&1))
+		fb := lv.f[g/2] >> shift & 0xf
+		var mb byte
+		if !leaf {
+			mb = lv.m[g/2] >> shift & 0xf
+		}
+		switch {
+		case fb&mb != 0:
+			return fmt.Errorf("%w: k3 level %d slot both full and mixed", ErrCorrupt, lvl)
+		case fb == 0xf:
+			return fmt.Errorf("%w: k3 level %d all-full child group", ErrCorrupt, lvl)
+		case fb|mb == 0:
+			return fmt.Errorf("%w: k3 level %d all-empty child group", ErrCorrupt, lvl)
+		}
+	}
+	return nil
+}
+
+// k3Bit reads bit j of an MSB-first bitmap.
+func k3Bit(buf []byte, j int) bool {
+	return buf[j>>3]&(0x80>>uint(j&7)) != 0
+}
+
+// Curve returns the curve the region is defined over.
+func (p *K3Probe) Curve() sfc.Curve { return p.curve }
+
+// NumVoxels returns the region's voxel count (from the header; the
+// parser has verified it against the bitmaps).
+func (p *K3Probe) NumVoxels() uint64 { return p.voxels }
+
+// Empty reports whether the region holds no voxels.
+func (p *K3Probe) Empty() bool { return p.root == k3Empty }
+
+// ContainsID reports whether curve position id is in the region,
+// descending one tree path: O(bits) rank probes, no allocation.
+func (p *K3Probe) ContainsID(id uint64) bool {
+	if id >= p.curve.Length() {
+		return false
+	}
+	switch p.root {
+	case k3Empty:
+		return false
+	case k3Full:
+		return true
+	}
+	groupBase := 0
+	for lvl := 1; ; lvl++ {
+		lv := &p.levels[lvl-1]
+		j := groupBase + int(id>>uint(p.dim*(p.bits-lvl)))&(p.degree-1)
+		if k3Bit(lv.f, j) {
+			return true
+		}
+		if lv.m == nil || !k3Bit(lv.m, j) {
+			return false
+		}
+		groupBase = p.degree * lv.mrank.Rank1(j)
+	}
+}
+
+// ContainsPoint reports whether the grid point is in the region.
+func (p *K3Probe) ContainsPoint(pt sfc.Point) bool {
+	return p.ContainsID(p.curve.ID(pt))
+}
+
+// AnyInRange reports whether any position in [lo, hi] is present —
+// the emptiness test for a curve interval (and, via the cube/interval
+// correspondence, for aligned boxes).
+func (p *K3Probe) AnyInRange(lo, hi uint64) bool {
+	if hi >= p.curve.Length() {
+		hi = p.curve.Length() - 1
+	}
+	if lo > hi {
+		return false
+	}
+	switch p.root {
+	case k3Empty:
+		return false
+	case k3Full:
+		return true
+	}
+	return p.anyRec(1, 0, 0, lo, hi)
+}
+
+func (p *K3Probe) anyRec(lvl, groupBase int, base, lo, hi uint64) bool {
+	lv := &p.levels[lvl-1]
+	span := uint64(1) << uint(p.dim*(p.bits-lvl))
+	first, last := 0, p.degree-1
+	if lo > base {
+		first = int((lo - base) / span)
+	}
+	if top := base + span*uint64(p.degree) - 1; top > hi {
+		last = int((hi - base) / span)
+	}
+	for c := first; c <= last; c++ {
+		j := groupBase + c
+		if k3Bit(lv.f, j) {
+			return true
+		}
+		if lv.m != nil && k3Bit(lv.m, j) {
+			if p.anyRec(lvl+1, p.degree*lv.mrank.Rank1(j), base+uint64(c)*span, lo, hi) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AllInRange reports whether every position in [lo, hi] is present —
+// the coverage test behind CONTAINS with the container still encoded.
+func (p *K3Probe) AllInRange(lo, hi uint64) bool {
+	if lo > hi {
+		return true
+	}
+	if hi >= p.curve.Length() {
+		return false
+	}
+	switch p.root {
+	case k3Empty:
+		return false
+	case k3Full:
+		return true
+	}
+	return p.allRec(1, 0, 0, lo, hi)
+}
+
+func (p *K3Probe) allRec(lvl, groupBase int, base, lo, hi uint64) bool {
+	lv := &p.levels[lvl-1]
+	span := uint64(1) << uint(p.dim*(p.bits-lvl))
+	first, last := 0, p.degree-1
+	if lo > base {
+		first = int((lo - base) / span)
+	}
+	if top := base + span*uint64(p.degree) - 1; top > hi {
+		last = int((hi - base) / span)
+	}
+	for c := first; c <= last; c++ {
+		j := groupBase + c
+		if k3Bit(lv.f, j) {
+			continue
+		}
+		if lv.m == nil || !k3Bit(lv.m, j) {
+			return false
+		}
+		if !p.allRec(lvl+1, p.degree*lv.mrank.Rank1(j), base+uint64(c)*span, lo, hi) {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectRuns intersects the region with a sorted, normalized run
+// list (as Region.Runs returns), pruning whole subtrees the runs never
+// touch. The result is normalized and in increasing order.
+func (p *K3Probe) IntersectRuns(runs []region.Run) []region.Run {
+	if p.root == k3Empty || len(runs) == 0 {
+		return nil
+	}
+	if p.root == k3Full {
+		out := make([]region.Run, len(runs))
+		copy(out, runs)
+		return out
+	}
+	it := &k3Intersector{p: p, runs: runs}
+	it.rec(1, 0, 0)
+	return it.out
+}
+
+// k3Intersector carries the DFS state of IntersectRuns: a single run
+// pointer advanced in id order, and the normalized output accumulator.
+type k3Intersector struct {
+	p    *K3Probe
+	runs []region.Run
+	ri   int
+	out  []region.Run
+}
+
+func (it *k3Intersector) emit(lo, hi uint64) {
+	if n := len(it.out); n > 0 && it.out[n-1].Hi+1 == lo {
+		it.out[n-1].Hi = hi
+		return
+	}
+	it.out = append(it.out, region.Run{Lo: lo, Hi: hi})
+}
+
+func (it *k3Intersector) rec(lvl, groupBase int, base uint64) {
+	p := it.p
+	lv := &p.levels[lvl-1]
+	span := uint64(1) << uint(p.dim*(p.bits-lvl))
+	for c := 0; c < p.degree; c++ {
+		cb := base + uint64(c)*span
+		ch := cb + span - 1
+		for it.ri < len(it.runs) && it.runs[it.ri].Hi < cb {
+			it.ri++
+		}
+		if it.ri >= len(it.runs) {
+			return
+		}
+		if it.runs[it.ri].Lo > ch {
+			continue
+		}
+		j := groupBase + c
+		switch {
+		case k3Bit(lv.f, j):
+			for k := it.ri; k < len(it.runs) && it.runs[k].Lo <= ch; k++ {
+				lo, hi := it.runs[k].Lo, it.runs[k].Hi
+				if lo < cb {
+					lo = cb
+				}
+				if hi > ch {
+					hi = ch
+				}
+				it.emit(lo, hi)
+			}
+		case lv.m != nil && k3Bit(lv.m, j):
+			it.rec(lvl+1, p.degree*lv.mrank.Rank1(j), cb)
+		}
+	}
+}
+
+// Region materializes the run-list region — the same result Decode
+// produces.
+func (p *K3Probe) Region() (*region.Region, error) {
+	switch p.root {
+	case k3Empty:
+		return region.Empty(p.curve), nil
+	case k3Full:
+		return region.Full(p.curve), nil
+	}
+	var runs []region.Run
+	emit := func(lo, hi uint64) {
+		if n := len(runs); n > 0 && runs[n-1].Hi+1 == lo {
+			runs[n-1].Hi = hi
+			return
+		}
+		runs = append(runs, region.Run{Lo: lo, Hi: hi})
+	}
+	var rec func(lvl, groupBase int, base uint64)
+	rec = func(lvl, groupBase int, base uint64) {
+		lv := &p.levels[lvl-1]
+		span := uint64(1) << uint(p.dim*(p.bits-lvl))
+		for c := 0; c < p.degree; c++ {
+			j := groupBase + c
+			cb := base + uint64(c)*span
+			if k3Bit(lv.f, j) {
+				emit(cb, cb+span-1)
+			} else if lv.m != nil && k3Bit(lv.m, j) {
+				rec(lvl+1, p.degree*lv.mrank.Rank1(j), cb)
+			}
+		}
+	}
+	rec(1, 0, 0)
+	return region.FromRuns(p.curve, runs)
+}

@@ -1,0 +1,378 @@
+package rencode
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qbism/internal/region"
+	"qbism/internal/sfc"
+)
+
+// TestMethodsExhaustive pins the Method enum to its supporting tables:
+// every declared method (everything below the methodCount sentinel)
+// must appear in Methods exactly once, must have a real String() name
+// (no Method(%d) fall-through), and must round-trip Encode→Decode
+// byte-identically. Adding a method without extending the tables fails
+// here at the table, not in production at the fall-through.
+func TestMethodsExhaustive(t *testing.T) {
+	if len(Methods) != int(methodCount) {
+		t.Fatalf("Methods lists %d methods, %d are declared", len(Methods), int(methodCount))
+	}
+	seen := map[Method]bool{}
+	names := map[string]Method{}
+	for _, m := range Methods {
+		if m < 0 || m >= methodCount {
+			t.Fatalf("Methods lists undeclared method %d", int(m))
+		}
+		if seen[m] {
+			t.Fatalf("Methods lists %v twice", m)
+		}
+		seen[m] = true
+		name := m.String()
+		if strings.HasPrefix(name, "Method(") {
+			t.Errorf("String() does not cover declared method %d", int(m))
+		}
+		if prev, dup := names[name]; dup {
+			t.Errorf("methods %v and %v share the name %q", prev, m, name)
+		}
+		names[name] = m
+		if got, ok := MethodByName(name); !ok || got != m {
+			t.Errorf("MethodByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if !strings.HasPrefix(Method(methodCount).String(), "Method(") {
+		t.Errorf("sentinel methodCount has a String name: %q", Method(methodCount).String())
+	}
+	if _, ok := MethodByName("no-such-codec"); ok {
+		t.Error("MethodByName accepted an unknown name")
+	}
+
+	// Byte-identical round trip for every method over a deterministic
+	// suite of regions (empty, full, and seeded random shapes).
+	rng := rand.New(rand.NewSource(93))
+	c := sfc.MustNew(sfc.Hilbert, 3, 3)
+	suite := []*region.Region{region.Empty(c), region.Full(c)}
+	for i := 0; i < 20; i++ {
+		suite = append(suite, genRegion(rng))
+	}
+	for _, r := range suite {
+		for _, m := range Methods {
+			blob, err := Encode(m, r)
+			if err != nil {
+				t.Fatalf("%v: encode: %v", m, err)
+			}
+			if got, ok := MethodOf(blob); !ok || got != m {
+				t.Fatalf("MethodOf(%v blob) = %v, %v", m, got, ok)
+			}
+			dec, err := Decode(blob)
+			if err != nil {
+				t.Fatalf("%v: decode: %v", m, err)
+			}
+			if !dec.Equal(r) {
+				t.Fatalf("%v: round trip changed the region", m)
+			}
+			again, err := Encode(m, dec)
+			if err != nil {
+				t.Fatalf("%v: re-encode: %v", m, err)
+			}
+			if !bytes.Equal(blob, again) {
+				t.Fatalf("%v: re-encode not byte-identical", m)
+			}
+		}
+	}
+}
+
+// genRegion2D is genRegion on a 2D curve, exercising the degree-4
+// (quadtree) shape of the codec.
+func genRegion2D(rng *rand.Rand) *region.Region {
+	kinds := []sfc.Kind{sfc.Hilbert, sfc.ZOrder, sfc.Scanline}
+	bits := 2 + rng.Intn(4)
+	c := sfc.MustNew(kinds[rng.Intn(len(kinds))], 2, bits)
+	n := c.Length()
+	var runs []region.Run
+	nruns := rng.Intn(10)
+	for i := 0; i < nruns; i++ {
+		lo := rng.Uint64() % n
+		hi := lo + rng.Uint64()%20
+		if hi >= n {
+			hi = n - 1
+		}
+		runs = append(runs, region.Run{Lo: lo, Hi: hi})
+	}
+	r, err := region.FromRuns(c, runs)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TestK3ProbeAgainstOracleProperty is the satellite property test:
+// for seeded random regions (3D and 2D), every probe answer on the
+// encoded bytes must match the decoded-run-list oracle — ContainsID
+// for every position on the curve, AnyInRange/AllInRange on random
+// intervals, and IntersectRuns against region.Intersect.
+func TestK3ProbeAgainstOracleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8861))
+	for i := 0; i < 120; i++ {
+		r := genRegion(rng)
+		if i%3 == 0 {
+			r = genRegion2D(rng)
+		}
+		blob, err := Encode(K3Tree, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ParseK3(blob)
+		if err != nil {
+			t.Fatalf("iter %d: ParseK3: %v", i, err)
+		}
+		if p.NumVoxels() != r.NumVoxels() || p.Empty() != r.Empty() {
+			t.Fatalf("iter %d: NumVoxels/Empty mismatch", i)
+		}
+		c := r.Curve()
+		if p.Curve().Kind() != c.Kind() || p.Curve().Dim() != c.Dim() || p.Curve().Bits() != c.Bits() {
+			t.Fatalf("iter %d: curve mismatch", i)
+		}
+		n := c.Length()
+		for id := uint64(0); id < n; id++ {
+			if p.ContainsID(id) != r.ContainsID(id) {
+				t.Fatalf("iter %d: ContainsID(%d) = %v, oracle %v", i, id, p.ContainsID(id), r.ContainsID(id))
+			}
+		}
+		if p.ContainsID(n) || p.ContainsID(n+100) {
+			t.Fatalf("iter %d: ContainsID past the curve", i)
+		}
+		for probe := 0; probe < 40; probe++ {
+			lo := rng.Uint64() % n
+			hi := lo + rng.Uint64()%32
+			if hi >= n {
+				hi = n - 1
+			}
+			wantAny, wantAll := false, true
+			for id := lo; id <= hi; id++ {
+				in := r.ContainsID(id)
+				wantAny = wantAny || in
+				wantAll = wantAll && in
+			}
+			if got := p.AnyInRange(lo, hi); got != wantAny {
+				t.Fatalf("iter %d: AnyInRange(%d,%d) = %v, oracle %v", i, lo, hi, got, wantAny)
+			}
+			if got := p.AllInRange(lo, hi); got != wantAll {
+				t.Fatalf("iter %d: AllInRange(%d,%d) = %v, oracle %v", i, lo, hi, got, wantAll)
+			}
+		}
+		// Point probes: every grid point along a seeded sample.
+		for probe := 0; probe < 20; probe++ {
+			id := rng.Uint64() % n
+			pt := c.Point(id)
+			if got := p.ContainsPoint(pt); got != r.ContainsID(c.ID(pt)) {
+				t.Fatalf("iter %d: ContainsPoint(%v) = %v", i, pt, got)
+			}
+		}
+		// Intersection with a second random region on the same curve,
+		// against the set-op oracle.
+		other := genSameCurve(rng, c)
+		oracle, err := region.Intersect(r, other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.IntersectRuns(other.Runs())
+		want := oracle.Runs()
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: IntersectRuns %d runs, oracle %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("iter %d: IntersectRuns run %d = %v, oracle %v", i, k, got[k], want[k])
+			}
+		}
+		// Materializing the probe must equal the decode.
+		mat, err := p.Region()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.Equal(r) {
+			t.Fatalf("iter %d: Region() differs from the original", i)
+		}
+	}
+}
+
+// genSameCurve builds a random region on an existing curve.
+func genSameCurve(rng *rand.Rand, c sfc.Curve) *region.Region {
+	n := c.Length()
+	var runs []region.Run
+	nruns := rng.Intn(10)
+	for i := 0; i < nruns; i++ {
+		lo := rng.Uint64() % n
+		hi := lo + rng.Uint64()%24
+		if hi >= n {
+			hi = n - 1
+		}
+		runs = append(runs, region.Run{Lo: lo, Hi: hi})
+	}
+	r, err := region.FromRuns(c, runs)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestK3EmptyFullProbes(t *testing.T) {
+	c := sfc.MustNew(sfc.Hilbert, 3, 4)
+	for _, tc := range []struct {
+		name string
+		r    *region.Region
+		in   bool
+	}{
+		{"empty", region.Empty(c), false},
+		{"full", region.Full(c), true},
+	} {
+		blob, err := Encode(K3Tree, tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blob) != headerLen+1 {
+			t.Errorf("%s: %d bytes, want header+1", tc.name, len(blob))
+		}
+		p, err := ParseK3(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ContainsID(17) != tc.in || p.AnyInRange(0, c.Length()-1) != tc.in || p.AllInRange(3, 9) != tc.in {
+			t.Errorf("%s: probe answers wrong", tc.name)
+		}
+		runs := p.IntersectRuns([]region.Run{{Lo: 5, Hi: 9}})
+		if tc.in && (len(runs) != 1 || runs[0] != (region.Run{Lo: 5, Hi: 9})) {
+			t.Errorf("full: IntersectRuns = %v", runs)
+		}
+		if !tc.in && runs != nil {
+			t.Errorf("empty: IntersectRuns = %v", runs)
+		}
+	}
+}
+
+func TestK3ProbeRangeEdges(t *testing.T) {
+	c := sfc.MustNew(sfc.ZOrder, 3, 3)
+	r, err := region.FromRuns(c, []region.Run{{Lo: 10, Hi: 20}, {Lo: 100, Hi: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := Encode(K3Tree, r)
+	p, err := ParseK3(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Length()
+	if p.AnyInRange(5, 2) {
+		t.Error("inverted range is nonempty")
+	}
+	if !p.AllInRange(5, 2) {
+		t.Error("inverted range not fully covered (vacuous truth)")
+	}
+	if !p.AnyInRange(20, n+500) || p.AllInRange(99, n+500) {
+		t.Error("past-the-curve clamping wrong")
+	}
+	if p.AllInRange(10, 21) || !p.AllInRange(10, 20) || !p.AllInRange(100, 100) {
+		t.Error("coverage at run boundaries wrong")
+	}
+}
+
+func TestParseK3Rejects(t *testing.T) {
+	c := sfc.MustNew(sfc.Hilbert, 3, 3)
+	r, err := region.FromRuns(c, []region.Run{{Lo: 3, Hi: 77}, {Lo: 200, Hi: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elias, _ := Encode(Elias, r)
+	if _, err := ParseK3(elias); err == nil {
+		t.Error("ParseK3 accepted an elias blob")
+	}
+	if _, err := ParseK3(nil); err == nil {
+		t.Error("ParseK3 accepted nil")
+	}
+	blob, _ := Encode(K3Tree, r)
+	for _, cut := range []int{headerLen, headerLen + 1, len(blob) - 1} {
+		if _, err := ParseK3(blob[:cut]); err == nil {
+			t.Errorf("ParseK3 accepted truncation to %d bytes", cut)
+		}
+	}
+	if _, err := ParseK3(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Error("ParseK3 accepted trailing bytes")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[headerLen] = 7 // root color
+	if _, err := ParseK3(bad); err == nil {
+		t.Error("ParseK3 accepted a bad root color")
+	}
+	bad = append([]byte(nil), blob...)
+	bad[11]++ // count low byte
+	if _, err := ParseK3(bad); err == nil {
+		t.Error("ParseK3 accepted a forged count")
+	}
+}
+
+var sinkBool bool
+
+// BenchmarkK3PointProbe is the headline number: one ContainsID against
+// the encoded bytes (probe reuse), versus decoding the run list first.
+func BenchmarkK3PointProbe(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	c := sfc.MustNew(sfc.Hilbert, 3, 6)
+	r := genSameCurve(rng, c)
+	blob, err := Encode(K3Tree, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := ParseK3(blob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := c.Length()
+	b.ReportAllocs()
+	b.ResetTimer()
+	v := false
+	for i := 0; i < b.N; i++ {
+		v = p.ContainsID(uint64(i*2654435761) % n)
+	}
+	sinkBool = v
+}
+
+func BenchmarkK3ParseAndProbe(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	c := sfc.MustNew(sfc.Hilbert, 3, 6)
+	r := genSameCurve(rng, c)
+	blob, _ := Encode(K3Tree, r)
+	n := c.Length()
+	b.ReportAllocs()
+	b.ResetTimer()
+	v := false
+	for i := 0; i < b.N; i++ {
+		p, err := ParseK3(blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = p.ContainsID(uint64(i*2654435761) % n)
+	}
+	sinkBool = v
+}
+
+func BenchmarkDecodeThenProbe(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	c := sfc.MustNew(sfc.Hilbert, 3, 6)
+	r := genSameCurve(rng, c)
+	blob, _ := Encode(Elias, r)
+	n := c.Length()
+	b.ReportAllocs()
+	b.ResetTimer()
+	v := false
+	for i := 0; i < b.N; i++ {
+		dec, err := Decode(blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = dec.ContainsID(uint64(i*2654435761) % n)
+	}
+	sinkBool = v
+}

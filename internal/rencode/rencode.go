@@ -14,6 +14,8 @@
 //   - varint:       byte-aligned unsigned LEB128 delta stream
 //   - oblong:       4 bytes per oblong octant (<id, rank> packed)
 //   - octant:       4 bytes per regular octant (<id, rank> packed)
+//   - k3-tree:      octree of full/mixed bitmaps over curve-id space,
+//     queryable in compressed form via ParseK3 (see k3.go)
 //
 // Every codec round-trips exactly. Sizes are reported in bytes as stored.
 package rencode
@@ -50,10 +52,22 @@ const (
 	OblongOctant
 	// Octant stores 4 bytes per regular octant.
 	Octant
+	// K3Tree stores the region as an octree of per-level full/mixed
+	// bitmaps over curve-id space (a k³-tree in the sense of Brisaboa
+	// et al.). Unlike every other method it is queryable in place:
+	// ParseK3 returns a probe that answers ContainsID, range emptiness
+	// and coverage, and run intersection directly on the encoded bytes.
+	K3Tree
+
+	// methodCount is a sentinel: it must stay last in this block so the
+	// exhaustiveness test can iterate every declared method. Adding a
+	// method above without extending Methods and String fails
+	// TestMethodsExhaustive.
+	methodCount
 )
 
 // Methods lists all supported methods in display order.
-var Methods = []Method{Naive, Elias, EliasDelta, Golomb, Varint, OblongOctant, Octant}
+var Methods = []Method{Naive, Elias, EliasDelta, Golomb, Varint, OblongOctant, Octant, K3Tree}
 
 // String returns the method's conventional name.
 func (m Method) String() string {
@@ -72,9 +86,34 @@ func (m Method) String() string {
 		return "oblong-octant"
 	case Octant:
 		return "octant"
+	case K3Tree:
+		return "k3-tree"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
+}
+
+// MethodByName inverts String for declared methods ("elias" → Elias).
+func MethodByName(name string) (Method, bool) {
+	for _, m := range Methods {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// MethodOf peeks the method byte of an encoded REGION without decoding
+// it. It reports ok=false on an empty buffer or an undeclared method.
+func MethodOf(data []byte) (Method, bool) {
+	if len(data) == 0 {
+		return 0, false
+	}
+	m := Method(data[0])
+	if m < 0 || m >= methodCount {
+		return 0, false
+	}
+	return m, true
 }
 
 // ErrCorrupt is wrapped by decode errors caused by malformed input.
@@ -151,6 +190,9 @@ func Encode(m Method, r *region.Region) ([]byte, error) {
 			}
 			binary.BigEndian.PutUint32(payload[4*i:], v)
 		}
+	case K3Tree:
+		count = r.NumVoxels()
+		payload = encodeK3(r)
 	default:
 		return nil, fmt.Errorf("rencode: unknown method %d", int(m))
 	}
@@ -241,6 +283,12 @@ func Decode(data []byte) (*region.Region, error) {
 			octs[i] = region.UnpackOctant(binary.BigEndian.Uint32(body[4*i:]))
 		}
 		return region.FromOctantList(curve, octs)
+	case K3Tree:
+		p, err := parseK3Body(curve, count, body)
+		if err != nil {
+			return nil, err
+		}
+		return p.Region()
 	default:
 		return nil, fmt.Errorf("%w: unknown method %d", ErrCorrupt, int(m))
 	}
@@ -320,6 +368,8 @@ func EncodedSize(m Method, r *region.Region) (int, error) {
 			n++
 		}
 		return n, nil
+	case K3Tree:
+		return headerLen + k3PayloadSize(r), nil
 	default:
 		return 0, fmt.Errorf("rencode: unknown method %d", int(m))
 	}

@@ -3,6 +3,7 @@ package sdb
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"qbism/internal/lfm"
 	"qbism/internal/obs"
@@ -49,7 +50,19 @@ type DB struct {
 	// counts and per-operator row histograms.
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+
+	// probeFast counts REGION accesses a UDF answered on the compressed
+	// representation (no run-list materialization). UDF bodies report
+	// through NoteProbeFastPath; operators delta it around expression
+	// evaluation the same way they delta LFM page reads, so EXPLAIN
+	// ANALYZE shows per-operator probe counts.
+	probeFast atomic.Int64
 }
+
+// NoteProbeFastPath records one compressed-representation fast-path
+// answer. Called by UDF implementations (qbism's spatial operators)
+// when a probe avoided materializing a run list.
+func (db *DB) NoteProbeFastPath() { db.probeFast.Add(1) }
 
 // NewDB creates an empty database backed by the given long field
 // manager (which may be nil if no LONG columns or spatial UDFs are used).
@@ -165,7 +178,13 @@ type UDF struct {
 	MinArgs int
 	MaxArgs int // -1 for variadic
 	Cost    int
-	Fn      func(db *DB, args []Value) (Value, error)
+	// ProbeOnly marks functions that only probe REGION membership or
+	// coverage (CONTAINS-style) and never need a materialized run list.
+	// Calls to them are the demand signal the representation policy
+	// (costmodel.ReprPolicy) weighs toward the queryable k³-tree
+	// encoding; the sdb_udf_probe_calls_total metric counts them.
+	ProbeOnly bool
+	Fn        func(db *DB, args []Value) (Value, error)
 }
 
 // lookupUDF finds a registered function by name.

@@ -111,6 +111,12 @@ func (e *env) eval(x Expr) (Value, error) {
 		if e.st != nil {
 			e.st.udfCalls++
 		}
+		if e.db.metrics != nil {
+			e.db.metrics.Counter("sdb_udf_calls_total").Inc()
+			if u.ProbeOnly {
+				e.db.metrics.Counter("sdb_udf_probe_calls_total").Inc()
+			}
+		}
 		out, err := u.Fn(e.db, args)
 		if err != nil {
 			return Value{}, fmt.Errorf("sdb: function %q: %w", u.Name, err)

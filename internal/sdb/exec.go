@@ -174,6 +174,7 @@ func emitOpSpans(parent *obs.Span, op operator) {
 	sp.SetInt("rowsOut", st.rowsOut)
 	sp.SetInt("udfCalls", st.udfCalls)
 	sp.SetInt("lfmPages", st.lfmPages)
+	sp.SetInt("probeFast", st.probeFast)
 	for _, k := range op.kids() {
 		emitOpSpans(sp, k)
 	}

@@ -54,8 +54,8 @@ func (db *DB) explainSelect(s *SelectStmt, params []Value, analyze bool) (*Resul
 		line := strings.Repeat("  ", depth) + op.describe()
 		if analyze {
 			st := op.stats()
-			line += fmt.Sprintf(" [in=%d out=%d udf=%d pages=%d]",
-				st.rowsIn, st.rowsOut, st.udfCalls, st.lfmPages)
+			line += fmt.Sprintf(" [in=%d out=%d udf=%d pages=%d probe=%d]",
+				st.rowsIn, st.rowsOut, st.udfCalls, st.lfmPages, st.probeFast)
 		}
 		res.Rows = append(res.Rows, []Value{Str(line)})
 		for _, k := range op.kids() {

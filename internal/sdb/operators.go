@@ -17,10 +17,11 @@ import (
 
 // opStats are the per-operator runtime counters.
 type opStats struct {
-	rowsIn   int64
-	rowsOut  int64
-	udfCalls int64
-	lfmPages int64
+	rowsIn    int64
+	rowsOut   int64
+	udfCalls  int64
+	lfmPages  int64
+	probeFast int64 // compressed-representation fast-path answers
 }
 
 // tuple is the unit of data flow: the bound frames in join order, the
@@ -69,10 +70,12 @@ func (b *opBase) evalIn(t tuple, x Expr) (Value, error) {
 	if b.db.lfm != nil {
 		before = b.db.lfm.Stats().PageReads
 	}
+	probeBefore := b.db.probeFast.Load()
 	v, err := e.eval(x)
 	if b.db.lfm != nil {
 		b.st.lfmPages += int64(b.db.lfm.Stats().PageReads - before)
 	}
+	b.st.probeFast += b.db.probeFast.Load() - probeBefore
 	return v, err
 }
 
@@ -87,10 +90,12 @@ func (b *opBase) evalAgg(t tuple, x Expr, calls []*FuncCall) (Value, error) {
 	if b.db.lfm != nil {
 		before = b.db.lfm.Stats().PageReads
 	}
+	probeBefore := b.db.probeFast.Load()
 	v, err := e.evalWithAggregates(x, calls, t.aggVals)
 	if b.db.lfm != nil {
 		b.st.lfmPages += int64(b.db.lfm.Stats().PageReads - before)
 	}
+	b.st.probeFast += b.db.probeFast.Load() - probeBefore
 	return v, err
 }
 

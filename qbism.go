@@ -135,6 +135,24 @@ const (
 	EncodingVarint       = rencode.Varint
 	EncodingOblongOctant = rencode.OblongOctant
 	EncodingOctant       = rencode.Octant
+	EncodingK3Tree       = rencode.K3Tree
+)
+
+// Queryable compression: a k³-tree REGION answers point probes,
+// interval tests, and run-list intersection directly on the encoded
+// bytes (see DESIGN.md §13).
+type K3TreeProbe = rencode.K3Probe
+
+var (
+	ParseK3Tree      = rencode.ParseK3
+	EncodingByName   = rencode.MethodByName
+	EncodingOfRegion = rencode.MethodOf
+)
+
+// Config.Rencode modes beyond a forced encoding method name.
+const (
+	RencodeAuto = core.RencodeAuto
+	RencodeRuns = core.RencodeRuns
 )
 
 // Encoding functions.
@@ -363,6 +381,7 @@ const (
 	BandEncodingHilbertNaive = core.EncHilbertNaive
 	BandEncodingZNaive       = core.EncZNaive
 	BandEncodingOctant       = core.EncOctant
+	BandEncodingK3Tree       = core.EncK3Tree
 )
 
 // Report formatters.
