@@ -3,25 +3,26 @@
 # DESIGN.md §11), the full test suite under the race detector (the
 # chaos, netsim, and planner-equivalence concurrency tests are required
 # to be race-clean), the degraded-shard chaos suite (make chaos),
-# per-package coverage floors, a fuzz smoke pass, and a one-iteration
-# perfbench smoke run. Run `make check` before merging; `make bench`
-# regenerates BENCH_PR7.json through the versioned envelope in
-# internal/bench.
+# per-package coverage floors, a fuzz smoke pass, a closed-loop load
+# test against an in-process qbismd (loadtest-smoke), and a
+# one-iteration perfbench smoke run. Run `make check` before merging;
+# `make bench` regenerates BENCH_PR7.json and BENCH_PR8.json through
+# the versioned envelope in internal/bench.
 
 GO ?= go
 
 # Packages with an enforced coverage floor, and the floor itself. These
 # are the layers the observability work leans on hardest; keep them
 # honest.
-COVER_PKGS ?= ./internal/obs ./internal/lfm ./internal/sdb ./internal/lint ./internal/cluster ./internal/bench ./internal/rencode
+COVER_PKGS ?= ./internal/obs ./internal/lfm ./internal/sdb ./internal/lint ./internal/cluster ./internal/bench ./internal/rencode ./internal/transport
 COVER_FLOOR ?= 70.0
 
 # Per-target budget for the fuzz smoke pass.
 FUZZTIME ?= 5s
 
-.PHONY: check vet build lint test race cover chaos fuzz-smoke bench bench-smoke
+.PHONY: check vet build lint test race cover chaos fuzz-smoke bench bench-smoke loadtest-smoke
 
-check: vet build lint race chaos cover fuzz-smoke bench-smoke
+check: vet build lint race chaos cover fuzz-smoke loadtest-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -51,13 +52,15 @@ chaos:
 	$(GO) test -race -run 'Chaos|Cluster|Degraded|Retry|Breaker|Partial|Partition' ./internal/qbism ./internal/cluster
 
 # Short native-fuzz runs over the checked-in seed corpora: the sdb SQL
-# parser, the rencode REGION decoder, and the k³-tree parser (probe
-# answers cross-checked against the materialized run list),
+# parser, the rencode REGION decoder, the k³-tree parser (probe
+# answers cross-checked against the materialized run list), and the
+# transport frame codec (both readers, canonical re-encode),
 # $(FUZZTIME) each.
 fuzz-smoke:
 	$(GO) test -run '^FuzzParseSQL$$' -fuzz '^FuzzParseSQL$$' -fuzztime=$(FUZZTIME) ./internal/sdb
 	$(GO) test -run '^FuzzDecodeRegion$$' -fuzz '^FuzzDecodeRegion$$' -fuzztime=$(FUZZTIME) ./internal/rencode
 	$(GO) test -run '^FuzzDecodeK3$$' -fuzz '^FuzzDecodeK3$$' -fuzztime=$(FUZZTIME) ./internal/rencode
+	$(GO) test -run '^FuzzFrame$$' -fuzz '^FuzzFrame$$' -fuzztime=$(FUZZTIME) ./internal/transport
 
 # Per-package coverage with a hard floor: any listed package under
 # $(COVER_FLOOR)% statement coverage fails the build.
@@ -85,6 +88,15 @@ cover:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .  ./internal/sfc
 	$(GO) run ./cmd/perfbench -out BENCH_PR7.json
+	$(GO) run ./cmd/qbismload -selfhost -levels 2,4,8,16 -duration 2s -rate 800 -burst 200 -out BENCH_PR8.json
+
+# A short closed-loop load test: qbismload stands up an in-process
+# qbismd on an ephemeral loopback port and drives the Table 3 suite
+# through a 3-level concurrency ramp over real TCP. Catches wire-path
+# and daemon regressions (frame protocol, pooling, drain plumbing)
+# without needing a deployed server.
+loadtest-smoke:
+	$(GO) run ./cmd/qbismload -selfhost -levels 1,2,4 -duration 300ms -out $(if $(TMPDIR),$(TMPDIR),/tmp)/qbism_loadtest_smoke.json
 
 # One tiny iteration through every perfbench measurement — catches read
 # path regressions in CI without the full run's cost.

@@ -1,0 +1,251 @@
+// Command qbismload is a closed-loop load generator for qbismd: N
+// workers, each with its own TCP connection, issue medicalQuery RPCs
+// back-to-back through a ramp of concurrency levels and report
+// throughput and latency quantiles per level.
+//
+// Against a remote daemon it sends the query built from flags; with
+// -selfhost it stands up an in-process daemon on an ephemeral loopback
+// port, loads the synthetic corpus, and round-robins the Table 3 query
+// suite — the one-command benchmark that produces BENCH_PR8.json.
+//
+// Each call is a single attempt (no retry loop), so admission
+// rejections from the daemon's token bucket are counted as typed
+// ErrAdmissionRejected outcomes rather than silently retried away.
+//
+// Examples:
+//
+//	qbismload -selfhost -levels 4,16,64 -duration 2s -out BENCH_PR8.json
+//	qbismload -addr db3:7414 -study 1 -bandlo 224 -bandhi 255 -levels 8,32
+//	qbismload -selfhost -rate 100 -burst 20   # observe admission control
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"qbism/internal/bench"
+	"qbism/internal/daemon"
+	"qbism/internal/obs"
+	"qbism/internal/qbism"
+	"qbism/internal/rencode"
+	"qbism/internal/transport"
+)
+
+// latencyBuckets is finer than obs.LatencyBuckets: loopback queries
+// sit in the 0.2ms-20ms range and the quantiles interpolate within a
+// bucket, so resolution there is what makes p50 meaningful.
+var latencyBuckets = []float64{
+	0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5,
+}
+
+// levelResult is one row of the benchmark artifact: a concurrency
+// level's closed-loop measurement.
+type levelResult struct {
+	Concurrency       int     `json:"concurrency"`
+	DurationSeconds   float64 `json:"duration_seconds"`
+	Calls             uint64  `json:"calls"`
+	Errors            uint64  `json:"errors"`
+	AdmissionRejected uint64  `json:"admission_rejected"`
+	QPS               float64 `json:"qps"`
+	P50Millis         float64 `json:"p50_ms"`
+	P95Millis         float64 `json:"p95_ms"`
+	P99Millis         float64 `json:"p99_ms"`
+}
+
+type loadResults struct {
+	Addr     string        `json:"addr"`
+	Selfhost bool          `json:"selfhost"`
+	Suite    []string      `json:"suite"`
+	Levels   []levelResult `json:"levels"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "daemon address to load (empty requires -selfhost)")
+	selfhost := flag.Bool("selfhost", false, "stand up an in-process daemon on 127.0.0.1:0 and load it")
+	levels := flag.String("levels", "4,16,64", "comma-separated concurrency ramp")
+	duration := flag.Duration("duration", 2*time.Second, "closed-loop run time per level")
+	out := flag.String("out", "", "write the benchmark envelope JSON to this file")
+	rate := flag.Float64("rate", 0, "selfhost admission: sustained calls/sec per client host (0 disables)")
+	burst := flag.Float64("burst", 0, "selfhost admission: burst size per client host")
+
+	bits := flag.Int("bits", 5, "selfhost: atlas grid bits per axis")
+	pets := flag.Int("pets", 2, "selfhost: number of PET studies")
+	mris := flag.Int("mris", 1, "selfhost: number of MRI studies")
+	seed := flag.Uint64("seed", 1993, "selfhost: synthesis seed")
+
+	study := flag.Int("study", 1, "remote: study id to query")
+	structure := flag.String("structure", "", "remote: restrict to an atlas structure")
+	bandLo := flag.Int("bandlo", -1, "remote: intensity band lower bound")
+	bandHi := flag.Int("bandhi", -1, "remote: intensity band upper bound")
+	flag.Parse()
+
+	if err := run(*addr, *selfhost, *levels, *duration, *out, *rate, *burst,
+		*bits, *pets, *mris, *seed, *study, *structure, *bandLo, *bandHi); err != nil {
+		fmt.Fprintln(os.Stderr, "qbismload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, selfhost bool, levelSpec string, duration time.Duration, out string,
+	rate, burst float64, bits, pets, mris int, seed uint64,
+	study int, structure string, bandLo, bandHi int) error {
+	ramp, err := parseLevels(levelSpec)
+	if err != nil {
+		return err
+	}
+
+	var specs []qbism.QuerySpec
+	switch {
+	case selfhost:
+		fmt.Fprintf(os.Stderr, "qbismload: loading corpus (%d^3 grid, %d PET + %d MRI)...\n", 1<<bits, pets, mris)
+		sys, err := qbism.New(qbism.Config{
+			Bits: bits, NumPET: pets, NumMRI: mris, Seed: seed,
+			Method: rencode.Naive, SmallStudies: true,
+		})
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+		d := daemon.New(sys, daemon.Config{
+			Addr:      "127.0.0.1:0",
+			Admission: transport.AdmissionConfig{Rate: rate, Burst: burst},
+		})
+		if err := d.Start(); err != nil {
+			return err
+		}
+		defer d.Close()
+		addr = d.Addr().String()
+		specs = sys.Table3Queries()
+	case addr != "":
+		spec := qbism.QuerySpec{StudyID: study, Atlas: "Talairach"}
+		switch {
+		case structure != "":
+			spec.Structure = structure
+		case bandLo >= 0 && bandHi >= 0:
+			spec.HasBand, spec.BandLo, spec.BandHi = true, bandLo, bandHi
+		default:
+			spec.FullStudy = true
+		}
+		specs = []qbism.QuerySpec{spec}
+	default:
+		return errors.New("need -addr or -selfhost")
+	}
+
+	requests := make([][]byte, len(specs))
+	suite := make([]string, len(specs))
+	for i, spec := range specs {
+		req, err := qbism.EncodeQueryRequest(spec)
+		if err != nil {
+			return err
+		}
+		requests[i] = req
+		suite[i] = spec.Label()
+	}
+
+	results := loadResults{Addr: addr, Selfhost: selfhost, Suite: suite}
+	fmt.Printf("%-12s %10s %10s %10s %10s %9s %9s %9s\n",
+		"concurrency", "calls", "errors", "admit-rej", "qps", "p50(ms)", "p95(ms)", "p99(ms)")
+	for _, level := range ramp {
+		row, err := runLevel(addr, requests, level, duration)
+		if err != nil {
+			return err
+		}
+		results.Levels = append(results.Levels, row)
+		fmt.Printf("%-12d %10d %10d %10d %10.1f %9.2f %9.2f %9.2f\n",
+			row.Concurrency, row.Calls, row.Errors, row.AdmissionRejected,
+			row.QPS, row.P50Millis, row.P95Millis, row.P99Millis)
+	}
+
+	if out != "" {
+		env, err := bench.New("PR8", "qbismload", results)
+		if err != nil {
+			return err
+		}
+		if err := env.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "qbismload: wrote %s\n", out)
+	}
+	return nil
+}
+
+// runLevel runs one closed-loop measurement: `level` workers, each on
+// its own connection, calling as fast as responses return.
+func runLevel(addr string, requests [][]byte, level int, duration time.Duration) (levelResult, error) {
+	hist := obs.NewRegistry().Histogram("qbismload_call_seconds", latencyBuckets)
+	var mu sync.Mutex
+	var calls, errCount, admissionRejected uint64
+	var firstErr error
+
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < level; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := transport.DialTCP(addr, transport.TCPOptions{CallTimeout: 30 * time.Second})
+			defer c.Close()
+			for i := w; time.Now().Before(deadline); i++ {
+				req := requests[i%len(requests)]
+				start := time.Now()
+				resp, err := c.Call(nil, qbism.QueryMethod, req)
+				elapsed := time.Since(start)
+				mu.Lock()
+				calls++
+				switch {
+				case errors.Is(err, transport.ErrAdmissionRejected):
+					admissionRejected++
+				case err != nil:
+					errCount++
+					if firstErr == nil {
+						firstErr = err
+					}
+				default:
+					hist.Observe(elapsed.Seconds())
+					_ = resp
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if hist.Count() == 0 && firstErr != nil {
+		return levelResult{}, fmt.Errorf("no call succeeded at concurrency %d: %w", level, firstErr)
+	}
+	if firstErr != nil {
+		fmt.Fprintf(os.Stderr, "qbismload: %d calls failed at concurrency %d (first: %v)\n", errCount, level, firstErr)
+	}
+	return levelResult{
+		Concurrency:       level,
+		DurationSeconds:   duration.Seconds(),
+		Calls:             calls,
+		Errors:            errCount,
+		AdmissionRejected: admissionRejected,
+		QPS:               float64(hist.Count()) / duration.Seconds(),
+		P50Millis:         hist.Quantile(0.50) * 1000,
+		P95Millis:         hist.Quantile(0.95) * 1000,
+		P99Millis:         hist.Quantile(0.99) * 1000,
+	}, nil
+}
+
+func parseLevels(spec string) ([]int, error) {
+	var ramp []int
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad concurrency level %q", part)
+		}
+		ramp = append(ramp, n)
+	}
+	if len(ramp) == 0 {
+		return nil, errors.New("empty concurrency ramp")
+	}
+	return ramp, nil
+}

@@ -20,14 +20,18 @@ import (
 // REGIONs across replicas, and the planner's representation pick hashes
 // encoded sizes). Any of these calls silently breaks replay or
 // canonical form. Introduced as a convention in PR 1/2; extended to the
-// codecs with the k³-tree work in PR 7.
+// codecs with the k³-tree work in PR 7, and to the transport seam in
+// PR 8 — whose local and sim flavors must replay like the link they
+// wrap, with the tcp flavor's real-socket clock reads funneled through
+// two explicitly //lint:ignore'd helpers (transport/clock.go).
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock, process randomness, and map-order-dependent output in simulation and codec packages",
 	Match: func(pkg *Package) bool {
 		return pkg.Name == "faultsim" || pkg.Name == "netsim" ||
 			pkg.Name == "cluster" || pkg.Name == "qbism" ||
-			pkg.Name == "rencode" || pkg.Name == "bitio"
+			pkg.Name == "rencode" || pkg.Name == "bitio" ||
+			pkg.Name == "transport"
 	},
 	Run: runDeterminism,
 }

@@ -18,7 +18,7 @@ var ErrWrapAnalyzer = &Analyzer{
 	Doc:  "errors crossing lfm/netsim/faultsim boundaries must be wrapped with %w so errors.Is/As keeps matching",
 	Match: func(pkg *Package) bool {
 		switch pkg.Name {
-		case "lfm", "netsim", "faultsim", "qbism":
+		case "lfm", "netsim", "faultsim", "qbism", "transport":
 			return true
 		}
 		return false

@@ -337,3 +337,54 @@ func TestTracerMonotonicClock(t *testing.T) {
 		t.Fatal("re-End did not extend the span")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("q", []float64{1, 2, 4, 8})
+
+	// Empty and nil histograms answer 0 instead of panicking.
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram p50 = %v", got)
+	}
+
+	// 100 observations spread uniformly in (1, 2]: every quantile
+	// interpolates inside that bucket, so p50 ≈ 1.5 exactly under
+	// Prometheus-style linear interpolation.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Errorf("p50 = %v, want 1.5 (midpoint of the (1,2] bucket)", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("p100 = %v, want the bucket's upper bound 2", got)
+	}
+
+	// Out-of-range q clamps.
+	if got := h.Quantile(-3); got != h.Quantile(0) {
+		t.Errorf("q<0 not clamped: %v", got)
+	}
+	if got := h.Quantile(7); got != h.Quantile(1) {
+		t.Errorf("q>1 not clamped: %v", got)
+	}
+
+	// A second bucket shifts the upper quantiles: 100 in (1,2] and 100
+	// in (2,4] puts p75 at the midpoint of the second bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	if got := h.Quantile(0.75); got != 3 {
+		t.Errorf("p75 = %v, want 3 (midpoint of the (2,4] bucket)", got)
+	}
+
+	// +Inf observations clamp to the largest finite bound.
+	h2 := NewRegistry().Histogram("q2", []float64{1, 2})
+	h2.Observe(100)
+	h2.Observe(200)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow p99 = %v, want clamp to 2", got)
+	}
+}

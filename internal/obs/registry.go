@@ -169,6 +169,46 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
+// counts, linearly interpolating within the containing bucket the way
+// Prometheus's histogram_quantile does. Observations in the +Inf
+// bucket clamp to the largest finite bound. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		prev := cum
+		cum += h.counts[i]
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if h.counts[i] == 0 {
+				return b
+			}
+			frac := (rank - float64(prev)) / float64(h.counts[i])
+			return lo + (b-lo)*frac
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // writeProm emits the histogram in Prometheus text format: cumulative
 // _bucket{le=...} series, then _sum and _count.
 func (h *Histogram) writeProm(w io.Writer, name string) error {

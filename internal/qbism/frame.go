@@ -1,74 +1,37 @@
 package qbism
 
-import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"hash/crc32"
-)
+import "qbism/internal/transport"
 
-// The medicalQuery RPC wraps both directions in a length+checksum frame
-// so either end detects truncated or corrupted payloads instead of
-// mis-parsing them:
-//
-//	magic(2) | headerLen(4) | bodyLen(4) | crc32(4) | header | body
-//
-// For a request the header is the QuerySpec JSON and the body is empty;
-// for a response the header is the QueryMeta JSON and the body is the
-// DataRegion blob. The CRC32 (IEEE) covers header and body, so any
-// single flipped bit anywhere in the payload is detected.
+// The medicalQuery frame codec lives in internal/transport now — the
+// same frame carries payloads in-process, across the simulated link,
+// and over real sockets — so this file only keeps the package-local
+// names the query path and the public API surface were built on.
 
-// frameMagic marks a medicalQuery frame ("QM").
-const frameMagic uint16 = 0x514D
-
-// frameOverhead is the fixed frame prefix size in bytes.
-const frameOverhead = 14
-
-// Typed frame failures. Both indicate the payload was damaged in
-// flight, so both are retryable.
+// Typed frame failures, re-exported from the transport seam so
+// errors.Is checks against the qbism names keep working.
 var (
 	// ErrFrameTruncated means the payload is shorter than its frame
 	// declares (bytes were lost).
-	ErrFrameTruncated = errors.New("qbism: frame truncated")
+	ErrFrameTruncated = transport.ErrFrameTruncated
 	// ErrFrameCorrupt means the frame's magic, lengths, or checksum do
 	// not add up (bytes were altered).
-	ErrFrameCorrupt = errors.New("qbism: frame corrupt")
+	ErrFrameCorrupt = transport.ErrFrameCorrupt
 )
 
-// encodeFrame wraps header and body in a checksummed frame.
+// encodeFrame wraps header and body in a checksummed frame. The only
+// encode failure is a section exceeding the frame's uint32 length
+// fields (> 4 GiB); nothing the query path frames — spec JSON, meta
+// JSON, a study region blob — can get near that, so it is treated as
+// a programming error rather than plumbed through every call site.
 func encodeFrame(header, body []byte) []byte {
-	out := make([]byte, frameOverhead+len(header)+len(body))
-	binary.BigEndian.PutUint16(out, frameMagic)
-	binary.BigEndian.PutUint32(out[2:], uint32(len(header)))
-	binary.BigEndian.PutUint32(out[6:], uint32(len(body)))
-	copy(out[frameOverhead:], header)
-	copy(out[frameOverhead+len(header):], body)
-	binary.BigEndian.PutUint32(out[10:], crc32.ChecksumIEEE(out[frameOverhead:]))
+	out, err := transport.EncodeFrame(header, body)
+	if err != nil {
+		panic("qbism: " + err.Error())
+	}
 	return out
 }
 
-// decodeFrame validates and unwraps a frame. The declared lengths are
-// bounds-checked against the actual payload before any slicing, and the
-// checksum is verified over the entire content.
+// decodeFrame validates and unwraps a frame.
 func decodeFrame(buf []byte) (header, body []byte, err error) {
-	if len(buf) < frameOverhead {
-		return nil, nil, fmt.Errorf("%w: %d bytes, frame needs at least %d", ErrFrameTruncated, len(buf), frameOverhead)
-	}
-	if m := binary.BigEndian.Uint16(buf); m != frameMagic {
-		return nil, nil, fmt.Errorf("%w: bad magic %#04x", ErrFrameCorrupt, m)
-	}
-	hlen := uint64(binary.BigEndian.Uint32(buf[2:]))
-	blen := uint64(binary.BigEndian.Uint32(buf[6:]))
-	declared := frameOverhead + hlen + blen
-	if declared > uint64(len(buf)) {
-		return nil, nil, fmt.Errorf("%w: frame declares %d bytes, got %d", ErrFrameTruncated, declared, len(buf))
-	}
-	if declared < uint64(len(buf)) {
-		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrFrameCorrupt, uint64(len(buf))-declared)
-	}
-	want := binary.BigEndian.Uint32(buf[10:])
-	if got := crc32.ChecksumIEEE(buf[frameOverhead:]); got != want {
-		return nil, nil, fmt.Errorf("%w: checksum %#08x, want %#08x", ErrFrameCorrupt, got, want)
-	}
-	return buf[frameOverhead : frameOverhead+hlen], buf[frameOverhead+hlen:], nil
+	return transport.DecodeFrame(buf)
 }

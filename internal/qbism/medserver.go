@@ -10,6 +10,7 @@ import (
 	"qbism/internal/lfm"
 	"qbism/internal/obs"
 	"qbism/internal/sdb"
+	"qbism/internal/transport"
 	"qbism/internal/volume"
 )
 
@@ -114,73 +115,117 @@ type QueryMeta struct {
 // medicalQueryMethod is the RPC method name on the link.
 const medicalQueryMethod = "medicalQuery"
 
-// registerMedicalServer installs the MedicalServer RPC handler: it
-// receives a framed QuerySpec, generates and executes the SQL, and
-// returns the framed response (meta header + DataRegion blob). The
-// frame CRC on the way in means a request corrupted in flight fails
-// with a typed, retryable error instead of executing a different query.
+// QueryMethod is the wire method name a raw Transport caller uses to
+// reach the MedicalServer — the same name RunQuery dispatches on.
+const QueryMethod = medicalQueryMethod
+
+// EncodeQueryRequest builds the wire request body for QueryMethod from
+// a spec: the framed spec JSON, exactly what RunQuery sends. Load
+// generators and external clients use this to drive a daemon through a
+// bare Transport without a System on their side.
+func EncodeQueryRequest(spec QuerySpec) ([]byte, error) {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	return encodeFrame(specJSON, nil), nil
+}
+
+// DecodeQueryResponse splits a QueryMethod response into its meta
+// header and DataRegion blob — the inverse of what the MedicalServer
+// sends, with the same typed frame errors RunQuery's validation sees.
+func DecodeQueryResponse(resp []byte) (*QueryMeta, []byte, error) {
+	return splitResponse(resp)
+}
+
+// registerMedicalServer installs the MedicalServer RPC handler on the
+// simulated link. The same handler body backs ServeRPC, so the daemon
+// and the local transport dispatch into identical server code.
 func (s *System) registerMedicalServer() {
-	s.Link.RegisterSpan(medicalQueryMethod, func(sp *obs.Span, request []byte) ([]byte, error) {
-		specJSON, _, err := decodeFrame(request)
-		if err != nil {
-			return nil, fmt.Errorf("qbism: request: %w", err)
-		}
-		var spec QuerySpec
-		if err := json.Unmarshal(specJSON, &spec); err != nil {
-			return nil, fmt.Errorf("qbism: bad query spec: %w", err)
-		}
-		if sp != nil {
-			// Traced handlers run one at a time: the LFM has a single
-			// span attachment point, and serializing here is what makes
-			// the span tree's page accounting reconcile exactly with the
-			// lfm.Stats deltas below (the paper's measured protocol is
-			// serial anyway).
-			s.traceMu.Lock()
-			s.LFM.SetSpan(sp)
-			defer func() {
-				s.LFM.SetSpan(nil)
-				s.traceMu.Unlock()
-			}()
-			sp.SetStr("query", spec.Label())
-		}
-		start := time.Now()
-		stats0 := s.LFM.Stats()
+	s.Link.RegisterSpan(medicalQueryMethod, s.handleMedicalQuery)
+}
 
-		msp := sp.Child("sql.metadata")
-		meta, err := s.runMetadataQuery(msp, spec)
-		msp.End()
-		if err != nil {
-			return nil, err
-		}
-		dsp := sp.Child("sql.data")
-		blob, warning, err := s.runDataQuery(dsp, spec)
-		dsp.End()
-		if err != nil {
-			return nil, err
-		}
-		if warning != "" {
-			meta.Degraded = true
-			meta.Warning = warning
-			// Degradations must be countable: one counter bump and one
-			// span annotation per degraded answer.
-			s.Metrics.Counter("qbism_degraded_total").Inc()
-			sp.SetStr("degraded", warning)
-		}
+// ServeRPC is the System's transport.Handler: it dispatches a framed
+// RPC by method name. This is the server side of the transport seam —
+// qbismd serves it over TCP, transport.Local dispatches into it
+// directly, and the simulated link registers the same handler body.
+// Unknown methods fail with transport.ErrUnknownMethod (typed,
+// terminal), so a version-skewed client gets a classifiable refusal
+// instead of a hang.
+func (s *System) ServeRPC(sp *obs.Span, method string, request []byte) ([]byte, error) {
+	switch method {
+	case medicalQueryMethod:
+		return s.handleMedicalQuery(sp, request)
+	default:
+		return nil, fmt.Errorf("qbism: %w: %q", transport.ErrUnknownMethod, method)
+	}
+}
 
-		meta.DBCPUNanos = time.Since(start).Nanoseconds()
-		delta := s.LFM.Stats().Sub(stats0)
-		meta.LFMPages = delta.PageReads
-		meta.LFMReads = delta.Reads
-		meta.CacheHits = delta.CacheHits
-		meta.CacheMisses = delta.CacheMisses
-		sp.SetInt("lfm.pages", int64(delta.PageReads))
-		sp.SetInt("lfm.reads", int64(delta.Reads))
-		header, err := json.Marshal(meta)
-		if err != nil {
-			return nil, err
-		}
-		return encodeFrame(header, blob), nil
-	})
+// handleMedicalQuery is the MedicalServer RPC handler: it receives a
+// framed QuerySpec, generates and executes the SQL, and returns the
+// framed response (meta header + DataRegion blob). The frame CRC on
+// the way in means a request corrupted in flight fails with a typed,
+// retryable error instead of executing a different query.
+func (s *System) handleMedicalQuery(sp *obs.Span, request []byte) ([]byte, error) {
+	specJSON, _, err := decodeFrame(request)
+	if err != nil {
+		return nil, fmt.Errorf("qbism: request: %w", err)
+	}
+	var spec QuerySpec
+	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		return nil, fmt.Errorf("qbism: bad query spec: %w", err)
+	}
+	if sp != nil {
+		// Traced handlers run one at a time: the LFM has a single
+		// span attachment point, and serializing here is what makes
+		// the span tree's page accounting reconcile exactly with the
+		// lfm.Stats deltas below (the paper's measured protocol is
+		// serial anyway).
+		s.traceMu.Lock()
+		s.LFM.SetSpan(sp)
+		defer func() {
+			s.LFM.SetSpan(nil)
+			s.traceMu.Unlock()
+		}()
+		sp.SetStr("query", spec.Label())
+	}
+	start := time.Now()
+	stats0 := s.LFM.Stats()
+
+	msp := sp.Child("sql.metadata")
+	meta, err := s.runMetadataQuery(msp, spec)
+	msp.End()
+	if err != nil {
+		return nil, err
+	}
+	dsp := sp.Child("sql.data")
+	blob, warning, err := s.runDataQuery(dsp, spec)
+	dsp.End()
+	if err != nil {
+		return nil, err
+	}
+	if warning != "" {
+		meta.Degraded = true
+		meta.Warning = warning
+		// Degradations must be countable: one counter bump and one
+		// span annotation per degraded answer.
+		s.Metrics.Counter("qbism_degraded_total").Inc()
+		sp.SetStr("degraded", warning)
+	}
+
+	meta.DBCPUNanos = time.Since(start).Nanoseconds()
+	delta := s.LFM.Stats().Sub(stats0)
+	meta.LFMPages = delta.PageReads
+	meta.LFMReads = delta.Reads
+	meta.CacheHits = delta.CacheHits
+	meta.CacheMisses = delta.CacheMisses
+	sp.SetInt("lfm.pages", int64(delta.PageReads))
+	sp.SetInt("lfm.reads", int64(delta.Reads))
+	header, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	return encodeFrame(header, blob), nil
 }
 
 // querySingle streams a generated SELECT through the iterator API and
@@ -258,9 +303,9 @@ where  wv.studyId = ?`, []sdb.Value{study}, nil
 select extractVoxels(wv.data, boxRegion(?, ?, ?, ?, ?, ?))
 from   warpedVolume wv
 where  wv.studyId = ?`, []sdb.Value{
-			sdb.Int(int64(b[0])), sdb.Int(int64(b[1])), sdb.Int(int64(b[2])),
-			sdb.Int(int64(b[3])), sdb.Int(int64(b[4])), sdb.Int(int64(b[5])),
-			study}, nil
+				sdb.Int(int64(b[0])), sdb.Int(int64(b[1])), sdb.Int(int64(b[2])),
+				sdb.Int(int64(b[3])), sdb.Int(int64(b[4])), sdb.Int(int64(b[5])),
+				study}, nil
 
 	case spec.Structure != "" && !spec.HasBand:
 		return `
@@ -278,8 +323,8 @@ from   warpedVolume wv, intensityBand ib
 where  wv.studyId = ? and
        ib.studyId = wv.studyId and ib.atlasId = wv.atlasId and
        ib.lo = ? and ib.hi = ? and ib.encoding = ?`, []sdb.Value{
-			study, sdb.Int(int64(spec.BandLo)), sdb.Int(int64(spec.BandHi)),
-			sdb.Str(encoding)}, nil
+				study, sdb.Int(int64(spec.BandLo)), sdb.Int(int64(spec.BandHi)),
+				sdb.Str(encoding)}, nil
 
 	case spec.HasBand && spec.Structure != "":
 		// Mixed query: intersection() in the select list, extra joins.
@@ -292,8 +337,8 @@ where  wv.studyId = ? and
        as.atlasId = wv.atlasId and
        as.structureId = ns.structureId and
        ns.structureName = ?`, []sdb.Value{
-			study, sdb.Int(int64(spec.BandLo)), sdb.Int(int64(spec.BandHi)),
-			sdb.Str(encoding), sdb.Str(spec.Structure)}, nil
+				study, sdb.Int(int64(spec.BandLo)), sdb.Int(int64(spec.BandHi)),
+				sdb.Str(encoding), sdb.Str(spec.Structure)}, nil
 
 	default:
 		return "", nil, fmt.Errorf("qbism: query spec selects nothing (set FullStudy, Box, Structure, or a band)")

@@ -9,8 +9,8 @@ import (
 	"qbism/internal/cluster"
 	"qbism/internal/costmodel"
 	"qbism/internal/dx"
-	"qbism/internal/faultsim"
 	"qbism/internal/obs"
+	"qbism/internal/transport"
 	"qbism/internal/volume"
 )
 
@@ -122,34 +122,30 @@ func (s *System) runQuerySpan(parent *obs.Span, spec QuerySpec) (*QueryResult, e
 	}
 	request := encodeFrame(specJSON, nil)
 
-	pol := s.Retry.withDefaults()
-	jitter := faultsim.NewRand(queryJitterSeed(pol.Seed, spec.Key()))
-	var retry RetryStats
-
-	net0 := s.Link.Stats()
+	// The exchange rides the transport seam: CallRetry carries the
+	// capped-exponential, deterministically jittered schedule whatever
+	// flavor s.Transport is — the default simulated link, or a TCP
+	// connection to a live daemon. Response validation runs inside the
+	// loop, so a reply corrupted past the link layer's own checks is
+	// retried exactly like a failed call.
 	var meta *QueryMeta
 	var blob []byte
-	for attempt := 1; ; attempt++ {
-		retry.Attempts = attempt
-		resp, err := s.Link.CallSpan(root, medicalQueryMethod, request)
-		if err == nil {
-			meta, blob, err = splitResponse(resp)
-		}
-		if err == nil {
-			break
-		}
-		retry.LastError = err.Error()
-		if attempt >= pol.MaxAttempts || !RetryableError(err) {
-			return nil, s.fe().fail(root, retry, fmt.Errorf("qbism: query failed after %d attempt(s): %w", attempt, err))
-		}
-		retry.Retries++
-		retry.BackoffSim += pol.Backoff(attempt, jitter)
-		s.Link.NoteRetry()
+	net0 := s.Transport.Stats()
+	_, retry, err := transport.CallRetry(s.Transport, root, medicalQueryMethod, request, s.Retry, spec.Key(),
+		func(resp []byte) error {
+			m, b, verr := splitResponse(resp)
+			if verr != nil {
+				return verr
+			}
+			meta, blob = m, b
+			return nil
+		})
+	if err != nil {
+		return nil, s.fe().fail(root, retry, fmt.Errorf("qbism: query failed after %d attempt(s): %w", retry.Attempts, err))
 	}
-	netDelta := s.Link.Stats().Sub(net0)
-	netSim := s.Model.NetworkTime(netDelta.Messages) + netDelta.LatencySim
+	netDelta := s.Transport.Stats().Sub(net0)
 
-	return s.fe().finish(root, spec, meta, blob, retry, netDelta.Messages, netSim, totalStart)
+	return s.fe().finish(root, spec, meta, blob, retry, netDelta.Messages, netDelta.Latency, totalStart)
 }
 
 // finish performs the client-side DX stages — import, render, cache —

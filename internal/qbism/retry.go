@@ -1,110 +1,27 @@
 package qbism
 
-import (
-	"errors"
-	"time"
+import "qbism/internal/transport"
 
-	"qbism/internal/faultsim"
-	"qbism/internal/lfm"
-	"qbism/internal/netsim"
-)
+// Retry policy, stats, and classification live at the transport seam
+// now (internal/transport/retry.go): the same schedule drives
+// single-link retries, cluster failover waits, and retries against a
+// live daemon over TCP. The qbism names stay as aliases so the public
+// API surface (root package re-exports included) is unchanged.
 
 // RetryPolicy governs how the DX client retries transient medicalQuery
-// failures. Backoff is capped exponential with deterministic jitter:
-// attempt k waits in [base·2^(k-1)/2, base·2^(k-1)), capped at
-// MaxBackoff, with the jitter drawn from a stream seeded by Seed and
-// the query key — so two identical runs back off identically. The
-// waits are simulated time (priced into the query's timing like the
-// cost model's network time), never real sleeps, so benchmarks stay
-// fast and reproducible.
-type RetryPolicy struct {
-	// MaxAttempts is the total number of tries (1 = no retries).
-	MaxAttempts int
-	// BaseBackoff is the first retry's nominal wait.
-	BaseBackoff time.Duration
-	// MaxBackoff caps the exponential growth.
-	MaxBackoff time.Duration
-	// Seed drives the jitter stream.
-	Seed uint64
-}
-
-// DefaultRetryPolicy survives transient fault rates around 10% with
-// better than 99.99% query success.
-func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 5, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second, Seed: 1}
-}
-
-// withDefaults fills zero fields; a zero policy means a single attempt.
-func (p RetryPolicy) withDefaults() RetryPolicy {
-	if p.MaxAttempts < 1 {
-		p.MaxAttempts = 1
-	}
-	if p.BaseBackoff <= 0 {
-		p.BaseBackoff = 50 * time.Millisecond
-	}
-	if p.MaxBackoff <= 0 {
-		p.MaxBackoff = 2 * time.Second
-	}
-	return p
-}
-
-// Backoff returns the simulated wait before retrying after the given
-// 1-based failed attempt: capped exponential with jitter in [d/2, d).
-// Exported so the cluster layer reuses the exact same schedule for
-// cross-node failover retries.
-func (p RetryPolicy) Backoff(attempt int, rng *faultsim.Rand) time.Duration {
-	d := p.BaseBackoff
-	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
-		d *= 2
-	}
-	if d > p.MaxBackoff {
-		d = p.MaxBackoff
-	}
-	half := d / 2
-	return half + time.Duration(rng.Float64()*float64(half))
-}
+// failures. See transport.RetryPolicy for the backoff contract.
+type RetryPolicy = transport.RetryPolicy
 
 // RetryStats reports one query's resilience history alongside its
 // QueryMeta.
-type RetryStats struct {
-	// Attempts is the number of medicalQuery calls issued (>= 1).
-	Attempts int
-	// Retries is the number of failed attempts that were retried.
-	Retries int
-	// BackoffSim is the total simulated backoff wait.
-	BackoffSim time.Duration
-	// LastError describes the most recent failed attempt, if any.
-	LastError string
-}
+type RetryStats = transport.RetryStats
 
-// RetryableError reports whether err is a transient failure a retry can
-// plausibly cure: link-level drops, timeouts, and detected corruption;
-// truncated or corrupted frames; and device read faults or checksum
-// mismatches (re-reads succeed when the corruption happened in
-// transfer rather than at rest). Semantic failures — unknown study,
-// unknown structure, malformed spec — are terminal.
-func RetryableError(err error) bool {
-	switch {
-	case errors.Is(err, netsim.ErrDropped),
-		errors.Is(err, netsim.ErrLinkTimeout),
-		errors.Is(err, netsim.ErrCorrupt),
-		errors.Is(err, ErrFrameTruncated),
-		errors.Is(err, ErrFrameCorrupt),
-		errors.Is(err, lfm.ErrReadFault),
-		errors.Is(err, lfm.ErrWriteFault),
-		errors.Is(err, lfm.ErrChecksum):
-		return true
-	}
-	return false
-}
+// DefaultRetryPolicy survives transient fault rates around 10% with
+// better than 99.99% query success.
+func DefaultRetryPolicy() RetryPolicy { return transport.DefaultRetryPolicy() }
 
-// queryJitterSeed mixes the policy seed with the query key (FNV-1a) so
-// concurrent queries jitter differently but deterministically.
-func queryJitterSeed(seed uint64, key string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
-	}
-	return seed ^ h
-}
+// RetryableError reports whether err is a transient failure a retry
+// can plausibly cure. Delegates to the seam's classification, which
+// covers link faults, frame damage, socket failures, admission
+// rejections, and device read faults.
+func RetryableError(err error) bool { return transport.RetryableError(err) }

@@ -7,6 +7,7 @@ import (
 
 	"qbism/internal/faultsim"
 	"qbism/internal/rencode"
+	"qbism/internal/transport"
 )
 
 // nominalBackoff is the un-jittered schedule the docs promise: attempt
@@ -95,14 +96,14 @@ func TestBackoffDeterministic(t *testing.T) {
 // TestRetryPolicyDefaults: zero fields fill in; a zero policy is a
 // single attempt, never zero.
 func TestRetryPolicyDefaults(t *testing.T) {
-	p := RetryPolicy{}.withDefaults()
+	p := RetryPolicy{}.WithDefaults()
 	if p.MaxAttempts != 1 {
 		t.Errorf("zero policy MaxAttempts = %d, want 1", p.MaxAttempts)
 	}
 	if p.BaseBackoff <= 0 || p.MaxBackoff <= 0 {
 		t.Errorf("defaults left non-positive backoff: %+v", p)
 	}
-	p = RetryPolicy{MaxAttempts: -3}.withDefaults()
+	p = RetryPolicy{MaxAttempts: -3}.WithDefaults()
 	if p.MaxAttempts != 1 {
 		t.Errorf("negative MaxAttempts = %d after defaults, want 1", p.MaxAttempts)
 	}
@@ -111,15 +112,15 @@ func TestRetryPolicyDefaults(t *testing.T) {
 // TestQueryJitterSeedMixing: distinct query keys get distinct jitter
 // streams; the same key replays the same stream.
 func TestQueryJitterSeedMixing(t *testing.T) {
-	a := queryJitterSeed(1, "study=1/full")
-	b := queryJitterSeed(1, "study=2/full")
+	a := transport.JitterSeed(1, "study=1/full")
+	b := transport.JitterSeed(1, "study=2/full")
 	if a == b {
 		t.Error("different keys produced the same jitter seed")
 	}
-	if a != queryJitterSeed(1, "study=1/full") {
+	if a != transport.JitterSeed(1, "study=1/full") {
 		t.Error("same key produced different jitter seeds")
 	}
-	if a == queryJitterSeed(2, "study=1/full") {
+	if a == transport.JitterSeed(2, "study=1/full") {
 		t.Error("policy seed does not influence the jitter seed")
 	}
 }
@@ -163,7 +164,7 @@ func TestRetryStatsAccounting(t *testing.T) {
 	}
 	// Replay the jitter stream: the loop draws one backoff after each
 	// failed attempt, from a stream seeded by (policy seed, query key).
-	rng := faultsim.NewRand(queryJitterSeed(pol.Seed, spec.Key()))
+	rng := faultsim.NewRand(transport.JitterSeed(pol.Seed, spec.Key()))
 	want := pol.Backoff(1, rng) + pol.Backoff(2, rng)
 	if res.Retry.BackoffSim != want {
 		t.Errorf("BackoffSim = %v, want exactly %v", res.Retry.BackoffSim, want)

@@ -31,6 +31,7 @@ import (
 	"qbism/internal/region"
 	"qbism/internal/spindex"
 	"qbism/internal/synth"
+	"qbism/internal/transport"
 )
 
 // ClusterConfig parameterizes a ClusterSystem.
@@ -49,6 +50,13 @@ type ClusterConfig struct {
 	// given node (replica 0 is the primary); nil return values mean no
 	// injection on that node. Overrides Base.LinkFaults/DeviceFaults.
 	NodeFaults func(shard, replica int) (link, device *faultsim.Policy)
+	// NodeDial, when non-nil, builds the cluster's transport to the
+	// given node (the node's fully built System is passed in). Nil
+	// means each node is reached through its own default transport —
+	// the simulated link, exactly the pre-seam wiring. A custom dial
+	// lets a cluster front real daemons without the routing, breaker,
+	// or hedging layers changing.
+	NodeDial func(shard, replica int, sys *System) (transport.Transport, error)
 	// Breaker configures each node's circuit breaker (zero disables).
 	Breaker cluster.BreakerConfig
 	// Retry governs cross-node failover retries: MaxAttempts bounds the
@@ -127,7 +135,7 @@ func NewClusterSystem(cfg ClusterConfig) (*ClusterSystem, error) {
 		cs.Studies = append(cs.Studies, info)
 	}
 
-	pol := cfg.Retry.withDefaults()
+	pol := cfg.Retry.WithDefaults()
 	var shardNodes [][]cluster.Node
 	for sh := 0; sh < cfg.Shards; sh++ {
 		var nodes []cluster.Node
@@ -151,7 +159,13 @@ func NewClusterSystem(cfg ClusterConfig) (*ClusterSystem, error) {
 				return nil, fmt.Errorf("qbism: cluster node s%dr%d: %w", sh, r, err)
 			}
 			cs.addNode(sh, sys)
-			nodes = append(nodes, &linkNode{name: nodeName(sh, r), sys: sys})
+			tr := sys.Transport
+			if cfg.NodeDial != nil {
+				if tr, err = cfg.NodeDial(sh, r, sys); err != nil {
+					return nil, fmt.Errorf("qbism: dialing node s%dr%d: %w", sh, r, err)
+				}
+			}
+			nodes = append(nodes, &transportNode{name: nodeName(sh, r), t: tr})
 		}
 		shardNodes = append(shardNodes, nodes)
 	}
@@ -225,28 +239,31 @@ func (cs *ClusterSystem) fe() frontEnd {
 	}
 }
 
-// linkNode adapts one node System's netsim link to the cluster.Node
-// seam — the "simulated remote" flavor. Each call is serialized per
-// node so the link-stats delta pricing the call's simulated latency is
-// exact; different nodes still serve concurrently.
-type linkNode struct {
+// transportNode adapts one node's Transport to the cluster.Node seam:
+// the cluster no longer knows whether a node is a simulated link or a
+// live daemon — it consumes the seam's Stats.Latency deltas either
+// way. Each call is serialized per node so the stats delta pricing the
+// call's latency is exact; different nodes still serve concurrently.
+// (For the default sim transport the delta is numerically identical to
+// what the pre-seam linkNode computed by hand from link stats.)
+type transportNode struct {
 	name string
-	sys  *System
+	t    transport.Transport
 	mu   sync.Mutex
 }
 
-func (n *linkNode) Name() string { return n.name }
+func (n *transportNode) Name() string { return n.name }
 
-// Call dials the node's link once and validates the response frame, so
-// a reply corrupted in flight surfaces here as a typed retryable error
-// — failover fodder — rather than downstream in the DX import.
-func (n *linkNode) Call(parent *obs.Span, method string, request []byte) ([]byte, time.Duration, error) {
+// Call dials the node's transport once and validates the response
+// frame, so a reply corrupted in flight surfaces here as a typed
+// retryable error — failover fodder — rather than downstream in the
+// DX import.
+func (n *transportNode) Call(parent *obs.Span, method string, request []byte) ([]byte, time.Duration, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	net0 := n.sys.Link.Stats()
-	resp, err := n.sys.Link.CallSpan(parent, method, request)
-	delta := n.sys.Link.Stats().Sub(net0)
-	lat := n.sys.Model.NetworkTime(delta.Messages) + delta.LatencySim
+	net0 := n.t.Stats()
+	resp, err := n.t.Call(parent, method, request)
+	lat := n.t.Stats().Sub(net0).Latency
 	if err != nil {
 		return nil, lat, err
 	}

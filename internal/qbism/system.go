@@ -17,6 +17,7 @@ import (
 	"qbism/internal/sdb"
 	"qbism/internal/sfc"
 	"qbism/internal/synth"
+	"qbism/internal/transport"
 	"qbism/internal/volume"
 	"qbism/internal/warp"
 )
@@ -98,6 +99,13 @@ type Config struct {
 	// The zero value means a single attempt; DefaultRetryPolicy() is a
 	// sensible production setting.
 	Retry RetryPolicy
+	// Dial builds the System's client transport once loading finishes
+	// (the system passed in is fully built). Nil means the default: the
+	// simulated link behind the seam (transport.NewSim), which is the
+	// pre-seam behavior exactly. The loopback equivalence suite dials a
+	// TCP transport here instead, pointing the system's own query path
+	// at a daemon serving the same system.
+	Dial func(*System) (transport.Transport, error)
 
 	// CachePages, when positive, enables a CLOCK page cache of that many
 	// 4 KB pages in front of the LFM device. Zero keeps the paper's
@@ -187,6 +195,10 @@ type System struct {
 
 	// Retry is the client-side retry policy for RunQuery (from Config).
 	Retry RetryPolicy
+	// Transport carries the DX↔MedicalServer exchanges (from
+	// Config.Dial; default: the simulated Link behind the seam). The
+	// query path prices network time from deltas of its Stats.
+	Transport transport.Transport
 	// LinkFaults/DeviceFaults are the active fault injectors (nil when
 	// the corresponding policy is unset); their counters feed chaos
 	// tests and the CLI's fault report.
@@ -310,7 +322,29 @@ func New(cfg Config) (*System, error) {
 	if cfg.CachePages > 0 {
 		s.LFM.EnableCache(cfg.CachePages)
 	}
+	// The client transport dials last, against the fully built system:
+	// the default sim flavor wraps the link (and so sees the faults
+	// installed above), while a custom Dial may point at a live daemon.
+	if cfg.Dial != nil {
+		tr, err := cfg.Dial(s)
+		if err != nil {
+			return nil, fmt.Errorf("qbism: dialing transport: %w", err)
+		}
+		s.Transport = tr
+	} else {
+		s.Transport = transport.NewSim(s.Link, s.Model)
+	}
 	return s, nil
+}
+
+// Close releases the system's client transport. The simulated flavors
+// hold no external resources, but a TCP transport holds a live socket
+// — callers that dialed one should Close when done.
+func (s *System) Close() error {
+	if s.Transport == nil {
+		return nil
+	}
+	return s.Transport.Close()
 }
 
 // extractOpts returns the read-plan options the spatial UDFs use.

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission control: a token bucket per client key. Each admitted call
+// spends one token; tokens refill continuously at Rate per second up to
+// Burst. A client that sustains more than Rate calls/sec sees typed
+// ErrAdmissionRejected responses — backpressure it can obey by backing
+// off (RetryableError treats admission rejections as retryable for
+// exactly that reason).
+
+// AdmissionConfig parameterizes the server's per-client rate limiting.
+type AdmissionConfig struct {
+	// Rate is the sustained calls/second allowed per client key.
+	// Zero or negative disables admission control entirely.
+	Rate float64
+	// Burst is the bucket depth — how many calls a client may issue
+	// back-to-back after an idle period. Defaults to Rate (one
+	// second's worth), minimum 1.
+	Burst float64
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.Rate > 0 && c.Burst <= 0 {
+		c.Burst = c.Rate
+	}
+	if c.Rate > 0 && c.Burst < 1 {
+		c.Burst = 1
+	}
+	return c
+}
+
+// admitter holds one token bucket per client key. The clock is
+// injected: the server passes the wall clock, tests pass a fake.
+type admitter struct {
+	cfg AdmissionConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket // guarded by mu
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newAdmitter(cfg AdmissionConfig, now func() time.Time) *admitter {
+	return &admitter{cfg: cfg.withDefaults(), now: now, buckets: make(map[string]*tokenBucket)}
+}
+
+// Allow reports whether the client may issue one call now, spending a
+// token if so.
+func (a *admitter) Allow(client string) bool {
+	if a.cfg.Rate <= 0 {
+		return true
+	}
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, ok := a.buckets[client]
+	if !ok {
+		b = &tokenBucket{tokens: a.cfg.Burst, last: now}
+		a.buckets[client] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * a.cfg.Rate
+			if b.tokens > a.cfg.Burst {
+				b.tokens = a.cfg.Burst
+			}
+			b.last = now
+		}
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Every payload crossing the seam travels in a length+checksum frame so
+// either end detects truncated or corrupted payloads instead of
+// mis-parsing them:
+//
+//	magic(2) | headerLen(4) | bodyLen(4) | crc32(4) | header | body
+//
+// For a medicalQuery request the header is the QuerySpec JSON and the
+// body is empty; for a response the header is the QueryMeta JSON and
+// the body is the DataRegion blob. On the wire (tcp.go) the same frame
+// carries one extra nesting level: the header names the method (or the
+// response status) and the body is the application frame. The CRC32
+// (IEEE) covers header and body, so any single flipped bit anywhere in
+// the payload is detected.
+
+// FrameMagic marks a frame ("QM").
+const FrameMagic uint16 = 0x514D
+
+// FrameOverhead is the fixed frame prefix size in bytes.
+const FrameOverhead = 14
+
+// DefaultMaxFrameBytes bounds how large a frame a stream reader will
+// accept before rejecting it as hostile: a full-study response at the
+// paper's 128³ grid is ~2 MB, so 64 MiB leaves two orders of magnitude
+// of headroom while still refusing a forged multi-gigabyte length
+// before any allocation happens.
+const DefaultMaxFrameBytes = 64 << 20
+
+// Typed frame failures. Truncation and corruption indicate the payload
+// was damaged in flight, so both are retryable; oversize means a
+// declared length exceeded the reader's bound and the frame was
+// rejected before allocation.
+var (
+	// ErrFrameTruncated means the payload is shorter than its frame
+	// declares (bytes were lost).
+	ErrFrameTruncated = errors.New("transport: frame truncated")
+	// ErrFrameCorrupt means the frame's magic, lengths, or checksum do
+	// not add up (bytes were altered).
+	ErrFrameCorrupt = errors.New("transport: frame corrupt")
+	// ErrFrameOversize means a frame declared (or would require) more
+	// bytes than the configured limit allows.
+	ErrFrameOversize = errors.New("transport: frame oversize")
+)
+
+// EncodeFrame wraps header and body in a checksummed frame. Sections
+// whose length cannot be declared in the frame's uint32 fields are
+// rejected with ErrFrameOversize — before this check existed, a >4 GiB
+// section would have encoded a silently truncated length and produced
+// a frame that decodes to different bytes than were passed in.
+func EncodeFrame(header, body []byte) ([]byte, error) {
+	const maxSection = 1<<32 - 1
+	if uint64(len(header)) > maxSection || uint64(len(body)) > maxSection {
+		return nil, fmt.Errorf("%w: header %d / body %d bytes exceed the uint32 length fields",
+			ErrFrameOversize, len(header), len(body))
+	}
+	out := make([]byte, FrameOverhead+len(header)+len(body))
+	binary.BigEndian.PutUint16(out, FrameMagic)
+	binary.BigEndian.PutUint32(out[2:], uint32(len(header)))
+	binary.BigEndian.PutUint32(out[6:], uint32(len(body)))
+	copy(out[FrameOverhead:], header)
+	copy(out[FrameOverhead+len(header):], body)
+	binary.BigEndian.PutUint32(out[10:], crc32.ChecksumIEEE(out[FrameOverhead:]))
+	return out, nil
+}
+
+// DecodeFrame validates and unwraps a complete frame held in memory.
+// The declared lengths are bounds-checked against the actual payload
+// before any slicing, the buffer must contain exactly one frame (a
+// datagram-style contract: trailing bytes mean corruption, not a next
+// frame), and the checksum is verified over the entire content.
+func DecodeFrame(buf []byte) (header, body []byte, err error) {
+	if len(buf) < FrameOverhead {
+		return nil, nil, fmt.Errorf("%w: %d bytes, frame needs at least %d", ErrFrameTruncated, len(buf), FrameOverhead)
+	}
+	if m := binary.BigEndian.Uint16(buf); m != FrameMagic {
+		return nil, nil, fmt.Errorf("%w: bad magic %#04x", ErrFrameCorrupt, m)
+	}
+	hlen := uint64(binary.BigEndian.Uint32(buf[2:]))
+	blen := uint64(binary.BigEndian.Uint32(buf[6:]))
+	declared := FrameOverhead + hlen + blen
+	if declared > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("%w: frame declares %d bytes, got %d", ErrFrameTruncated, declared, len(buf))
+	}
+	if declared < uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrFrameCorrupt, uint64(len(buf))-declared)
+	}
+	want := binary.BigEndian.Uint32(buf[10:])
+	if got := crc32.ChecksumIEEE(buf[FrameOverhead:]); got != want {
+		return nil, nil, fmt.Errorf("%w: checksum %#08x, want %#08x", ErrFrameCorrupt, got, want)
+	}
+	return buf[FrameOverhead : FrameOverhead+hlen], buf[FrameOverhead+hlen:], nil
+}
+
+// ReadFrame reads exactly one frame from a byte stream: the fixed
+// prefix first, then — after the magic and the declared lengths pass
+// validation against maxBytes — exactly the declared payload. Unlike
+// DecodeFrame, bytes after the frame are not an error; they are the
+// next frame and stay unread in r. maxBytes <= 0 means
+// DefaultMaxFrameBytes. A stream that ends mid-frame fails with
+// ErrFrameTruncated (wrapping the underlying I/O error); a clean EOF
+// before any byte surfaces as io.EOF so connection loops can
+// distinguish "peer closed" from "peer lied".
+func ReadFrame(r io.Reader, maxBytes int64) (header, body []byte, err error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxFrameBytes
+	}
+	var prefix [FrameOverhead]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil, io.EOF
+		}
+		return nil, nil, fmt.Errorf("%w: reading frame prefix: %w", ErrFrameTruncated, err)
+	}
+	if m := binary.BigEndian.Uint16(prefix[:]); m != FrameMagic {
+		return nil, nil, fmt.Errorf("%w: bad magic %#04x", ErrFrameCorrupt, m)
+	}
+	hlen := uint64(binary.BigEndian.Uint32(prefix[2:]))
+	blen := uint64(binary.BigEndian.Uint32(prefix[6:]))
+	total := FrameOverhead + hlen + blen
+	if total > uint64(maxBytes) {
+		return nil, nil, fmt.Errorf("%w: frame declares %d bytes, limit %d", ErrFrameOversize, total, maxBytes)
+	}
+	buf := make([]byte, total)
+	copy(buf, prefix[:])
+	if _, err := io.ReadFull(r, buf[FrameOverhead:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: reading %d-byte frame: %w", ErrFrameTruncated, total, err)
+	}
+	return DecodeFrame(buf)
+}
+
+// WriteFrame encodes header and body and writes the frame to w in one
+// Write call, so a concurrent-writer bug shows up as interleaved
+// frames (CRC failures) rather than silent data mixing.
+func WriteFrame(w io.Writer, header, body []byte) error {
+	buf, err := EncodeFrame(header, body)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("%w: writing %d-byte frame: %w", ErrConn, len(buf), err)
+	}
+	return nil
+}

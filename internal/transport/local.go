@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"qbism/internal/obs"
+)
+
+// Local dispatches calls directly to a Handler in this process — no
+// network model, no faults, no latency. It is the reference
+// implementation the other flavors must agree with byte-for-byte: the
+// loopback equivalence suite compares a TCP round trip against a Local
+// call on the same handler.
+type Local struct {
+	handler Handler
+
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	stats Stats // guarded by mu
+}
+
+// NewLocal wraps a handler in a direct-dispatch transport.
+func NewLocal(h Handler) *Local {
+	return &Local{handler: h}
+}
+
+// Call implements Transport: it runs the handler under a
+// "transport.call" span and meters the payloads. Each exchange counts
+// two cost-model messages (request + response) so batch pricing stays
+// shaped like the other flavors, but carries zero simulated latency —
+// local dispatch is free by definition.
+func (l *Local) Call(parent *obs.Span, method string, request []byte) ([]byte, error) {
+	if l.closed.Load() {
+		return nil, fmt.Errorf("transport: local %q: %w", method, ErrClosed)
+	}
+	sp := parent.Child("transport.call")
+	defer sp.End()
+	sp.SetStr("method", method)
+	sp.SetStr("flavor", "local")
+	resp, err := l.handler(sp, method, request)
+	l.mu.Lock()
+	l.stats.Calls++
+	l.stats.Messages += 2
+	l.stats.BytesOut += uint64(len(request))
+	if err != nil {
+		l.stats.Errors++
+	} else {
+		l.stats.BytesIn += uint64(len(resp))
+	}
+	l.mu.Unlock()
+	if err != nil {
+		sp.SetStr("error", err.Error())
+		return nil, err
+	}
+	return resp, nil
+}
+
+// NoteRetry implements the optional retry accounting hook.
+func (l *Local) NoteRetry() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats.Retries++
+}
+
+// Stats implements Transport.
+func (l *Local) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close implements Transport.
+func (l *Local) Close() error {
+	l.closed.Store(true)
+	return nil
+}
+
+var _ Transport = (*Local)(nil)

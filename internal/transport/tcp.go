@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"qbism/internal/obs"
+)
+
+// The wire protocol: each call is one frame exchange on a TCP stream.
+// The request frame's header is the method name and its body the
+// application payload (itself a CRC frame — the protocol nests, so
+// both the wire hop and the application payload are independently
+// integrity-checked). The response frame's header is a small status
+// JSON and its body the application response:
+//
+//	{"ok":true}                          → body is the response payload
+//	{"ok":false,"err":"...","kind":"…"}  → body empty, kind classifies
+//
+// Kinds map server-side failures onto the client's typed errors so
+// errors.Is classification crosses the process boundary: "admission" →
+// ErrAdmissionRejected, "draining" → ErrDraining, "retryable" →
+// ErrRemote, "unknown-method" → ErrUnknownMethod, anything else is
+// terminal.
+const (
+	kindAdmission     = "admission"
+	kindDraining      = "draining"
+	kindRetryable     = "retryable"
+	kindTerminal      = "terminal"
+	kindUnknownMethod = "unknown-method"
+)
+
+// wireStatus is the response frame's header.
+type wireStatus struct {
+	OK   bool   `json:"ok"`
+	Err  string `json:"err,omitempty"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// remoteErr reconstructs a typed client-side error from a wire status.
+func remoteErr(method string, st wireStatus) error {
+	switch st.Kind {
+	case kindAdmission:
+		return fmt.Errorf("transport: %s: %w: %s", method, ErrAdmissionRejected, st.Err)
+	case kindDraining:
+		return fmt.Errorf("transport: %s: %w: %s", method, ErrDraining, st.Err)
+	case kindRetryable:
+		return fmt.Errorf("transport: %s: %w: %s", method, ErrRemote, st.Err)
+	case kindUnknownMethod:
+		return fmt.Errorf("transport: %s: %w: %s", method, ErrUnknownMethod, st.Err)
+	default:
+		return fmt.Errorf("transport: %s: remote: %s", method, st.Err)
+	}
+}
+
+// TCPOptions tunes a TCP client transport.
+type TCPOptions struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout bounds one full request/response exchange via
+	// connection deadlines (default 60s; 0 keeps the default, negative
+	// disables deadlines).
+	CallTimeout time.Duration
+	// MaxFrameBytes bounds accepted response frames (default
+	// DefaultMaxFrameBytes).
+	MaxFrameBytes int64
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 60 * time.Second
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	return o
+}
+
+// TCP is the real-socket flavor of the seam: one connection, one
+// outstanding call at a time (calls serialize on an internal mutex —
+// for concurrent load, dial one TCP transport per worker, which is
+// what qbismload does). The connection is established lazily on the
+// first call and re-established after any stream failure, so a client
+// rides through a server restart: the failed call surfaces as a typed
+// retryable error and the retry dials fresh.
+type TCP struct {
+	addr string
+	opts TCPOptions
+
+	mu     sync.Mutex
+	conn   net.Conn // guarded by mu; nil when not connected
+	closed bool     // guarded by mu
+	stats  Stats    // guarded by mu
+}
+
+// DialTCP creates a TCP transport for the daemon at addr. The
+// connection itself is established lazily, so DialTCP never blocks;
+// an unreachable server surfaces as ErrDial from the first Call.
+func DialTCP(addr string, opts TCPOptions) *TCP {
+	return &TCP{addr: addr, opts: opts.withDefaults()}
+}
+
+// Call implements Transport: one framed exchange on the connection,
+// measured with the wall clock (this is the one flavor where latency
+// is real). Any stream-level failure tears the connection down so the
+// next call redials.
+func (t *TCP) Call(parent *obs.Span, method string, request []byte) ([]byte, error) {
+	sp := parent.Child("transport.call")
+	defer sp.End()
+	sp.SetStr("method", method)
+	sp.SetStr("flavor", "tcp")
+	sp.SetStr("addr", t.addr)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	start := wallNow()
+	resp, err := t.callLocked(method, request)
+	elapsed := wallSince(start)
+
+	t.stats.Calls++
+	t.stats.Messages += 2
+	t.stats.BytesOut += uint64(len(request))
+	t.stats.Latency += elapsed
+	if err != nil {
+		t.stats.Errors++
+		sp.SetStr("error", err.Error())
+		return nil, err
+	}
+	t.stats.BytesIn += uint64(len(resp))
+	sp.SetInt("bytes", int64(len(resp)))
+	return resp, nil
+}
+
+// callLocked performs the exchange. Callers must hold t.mu.
+func (t *TCP) callLocked(method string, request []byte) ([]byte, error) {
+	if t.closed {
+		return nil, fmt.Errorf("transport: tcp %s: %w", t.addr, ErrClosed)
+	}
+	if t.conn == nil {
+		conn, err := net.DialTimeout("tcp", t.addr, t.opts.DialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %w", ErrDial, t.addr, err)
+		}
+		t.conn = conn
+	}
+	if t.opts.CallTimeout > 0 {
+		if err := t.conn.SetDeadline(wallNow().Add(t.opts.CallTimeout)); err != nil {
+			t.teardownLocked()
+			return nil, fmt.Errorf("%w: %s: setting deadline: %w", ErrConn, t.addr, err)
+		}
+	}
+	if err := WriteFrame(t.conn, []byte(method), request); err != nil {
+		t.teardownLocked()
+		return nil, err
+	}
+	header, body, err := ReadFrame(t.conn, t.opts.MaxFrameBytes)
+	if err != nil {
+		// The stream is unsynchronized after any read failure (io.EOF
+		// here means the server hung up mid-exchange); drop the
+		// connection so the next call starts clean.
+		t.teardownLocked()
+		return nil, fmt.Errorf("%w: %s: %w", ErrConn, t.addr, err)
+	}
+	var st wireStatus
+	if err := json.Unmarshal(header, &st); err != nil {
+		t.teardownLocked()
+		return nil, fmt.Errorf("%w: %s: bad response status: %w", ErrConn, t.addr, err)
+	}
+	if !st.OK {
+		if st.Kind == kindDraining {
+			// The server closes the connection after a draining reply;
+			// match it so the next attempt redials rather than reading
+			// from a half-closed stream.
+			t.teardownLocked()
+		}
+		return nil, remoteErr(method, st)
+	}
+	return body, nil
+}
+
+// teardownLocked drops the connection. Callers must hold t.mu.
+func (t *TCP) teardownLocked() {
+	if t.conn != nil {
+		t.conn.Close()
+		t.conn = nil
+	}
+}
+
+// NoteRetry implements the optional retry accounting hook.
+func (t *TCP) NoteRetry() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Retries++
+}
+
+// Stats implements Transport.
+func (t *TCP) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	t.teardownLocked()
+	return nil
+}
+
+var _ Transport = (*TCP)(nil)

@@ -1,0 +1,130 @@
+// Package transport is the single seam between the DX client side and
+// the MedicalServer: everything that carries a framed RPC — the
+// in-process dispatch used by tests, the simulated link the chaos
+// suites replay deterministically, and real TCP sockets — implements
+// the same small interface, so retry, backoff, and failover logic is
+// written once and applies identically to a simulated remote and a
+// live daemon.
+//
+// The three flavors:
+//
+//   - Local: direct handler dispatch, no network model. The degenerate
+//     case for tests and the server side of loopback equivalence
+//     checks.
+//   - Sim: the netsim.Link + faultsim stack behind the seam. Traffic is
+//     metered and priced with the 1993 cost model and faults replay
+//     byte-for-byte from a seed — exactly the pre-seam behavior, so the
+//     chaos and differential suites run unchanged.
+//   - TCP: real sockets speaking the CRC frame protocol (frame.go) to a
+//     qbismd daemon. The only flavor allowed to read the wall clock.
+//
+// Client-side resilience lives here too (retry.go): CallRetry wraps any
+// Transport with the capped-exponential, deterministically jittered
+// retry schedule PR 1 established, and RetryableError is the one
+// classification of transient-vs-terminal both the single-link client
+// and the cluster failover path consult.
+package transport
+
+import (
+	"errors"
+	"time"
+
+	"qbism/internal/obs"
+)
+
+// Typed transport failures beyond the frame errors (frame.go). All are
+// matchable with errors.Is through %w chains.
+var (
+	// ErrClosed means the transport was closed and cannot carry calls.
+	ErrClosed = errors.New("transport: closed")
+	// ErrDial means establishing the connection failed (retryable: the
+	// server may be back for the next attempt).
+	ErrDial = errors.New("transport: dial failed")
+	// ErrConn means an established connection broke mid-call
+	// (retryable: the client redials lazily on the next call).
+	ErrConn = errors.New("transport: connection failed")
+	// ErrAdmissionRejected means the server's per-client admission
+	// control refused the call (retryable: back off and try again).
+	ErrAdmissionRejected = errors.New("transport: admission rejected")
+	// ErrDraining means the server is shutting down and refused new
+	// work (retryable: another node, or the restarted server, may
+	// answer).
+	ErrDraining = errors.New("transport: server draining")
+	// ErrRemote marks a server-side failure the server itself
+	// classified as retryable (e.g. a device read fault); the concrete
+	// cause only exists in the server process, so the client matches
+	// this sentinel instead.
+	ErrRemote = errors.New("transport: retryable remote failure")
+	// ErrUnknownMethod means the server has no handler for the method.
+	ErrUnknownMethod = errors.New("transport: unknown method")
+)
+
+// Handler is the server side of the seam: it answers one framed RPC.
+// The span is the server-side trace span for the call (nil when the
+// call is untraced).
+type Handler func(sp *obs.Span, method string, request []byte) ([]byte, error)
+
+// Stats is a transport's cumulative traffic accounting. Deltas around
+// a call price that call, the way netsim link-stats deltas did before
+// the seam existed.
+type Stats struct {
+	// Calls counts payload crossings initiated (one per Call).
+	Calls uint64
+	// Errors counts calls that returned an error.
+	Errors uint64
+	// Messages counts cost-model messages for the traffic carried
+	// (request + response). The sim flavor takes these from the
+	// underlying link's meter; local and tcp count one per direction.
+	Messages uint64
+	// BytesOut and BytesIn count request and response payload bytes.
+	BytesOut uint64
+	BytesIn  uint64
+	// Retries counts client retries reported via NoteRetry.
+	Retries uint64
+	// Latency is the cumulative simulated latency of carried calls:
+	// network-model time plus injected latency for the sim flavor,
+	// zero for local, measured wall time for tcp. Per-call deltas of
+	// this field are what the cluster's EWMA and hedging consume.
+	Latency time.Duration
+}
+
+// Sub returns s - o, for per-call deltas.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Calls:    s.Calls - o.Calls,
+		Errors:   s.Errors - o.Errors,
+		Messages: s.Messages - o.Messages,
+		BytesOut: s.BytesOut - o.BytesOut,
+		BytesIn:  s.BytesIn - o.BytesIn,
+		Retries:  s.Retries - o.Retries,
+		Latency:  s.Latency - o.Latency,
+	}
+}
+
+// Transport carries framed RPCs from a client to a MedicalServer,
+// wherever it lives. Implementations must be safe for concurrent use;
+// Call must wrap typed causes with %w so errors.Is classification
+// (RetryableError) survives.
+type Transport interface {
+	// Call performs one RPC under the given parent span (nil =
+	// untraced) and returns the raw response payload.
+	Call(parent *obs.Span, method string, request []byte) ([]byte, error)
+	// Stats returns cumulative traffic counters.
+	Stats() Stats
+	// Close releases the transport's resources; subsequent calls fail
+	// with ErrClosed.
+	Close() error
+}
+
+// retryNoter is the optional interface a transport implements to have
+// client retries folded into its own accounting (the sim flavor
+// forwards to the link's meter so chaos tests reconcile retries
+// exactly).
+type retryNoter interface{ NoteRetry() }
+
+// NoteRetry records a client retry on the transport's counters.
+func NoteRetry(t Transport) {
+	if n, ok := t.(retryNoter); ok {
+		n.NoteRetry()
+	}
+}

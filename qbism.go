@@ -40,6 +40,7 @@ package qbism
 import (
 	"qbism/internal/atlas"
 	"qbism/internal/cluster"
+	"qbism/internal/daemon"
 	"qbism/internal/dx"
 	"qbism/internal/faultsim"
 	"qbism/internal/feature"
@@ -55,6 +56,7 @@ import (
 	"qbism/internal/spindex"
 	"qbism/internal/stats"
 	"qbism/internal/synth"
+	"qbism/internal/transport"
 	"qbism/internal/volume"
 	"qbism/internal/warp"
 )
@@ -284,6 +286,41 @@ func NewClusterSystem(cfg ClusterConfig) (*ClusterSystem, error) { return core.N
 // NewClusterPartitioner builds the routing function alone (for
 // inspecting shard placement without loading any data).
 func NewClusterPartitioner(shards int) ClusterPartitioner { return cluster.NewPartitioner(shards) }
+
+// The transport seam: one interface over in-process dispatch, the
+// simulated link, and real TCP to a qbismd daemon. Config.Dial /
+// ClusterConfig.NodeDial choose the flavor per system or per node;
+// nil keeps the simulated link.
+type (
+	// Transport carries framed RPCs to a MedicalServer.
+	Transport = transport.Transport
+	// TransportStats is a Transport's cumulative meter; call sites
+	// price work from Sub deltas.
+	TransportStats = transport.Stats
+	// TCPOptions parameterizes DialTCP.
+	TCPOptions = transport.TCPOptions
+	// DaemonConfig parameterizes NewDaemon.
+	DaemonConfig = daemon.Config
+	// Daemon is a serving qbismd: RPC server + admin HTTP endpoint.
+	Daemon = daemon.Daemon
+)
+
+// DialTCP returns a Transport speaking the frame protocol to a daemon
+// at addr; the connection is established lazily and redialed after
+// failures.
+func DialTCP(addr string, opts TCPOptions) Transport { return transport.DialTCP(addr, opts) }
+
+// NewDaemon wires a loaded System into a serving daemon (what
+// cmd/qbismd runs).
+func NewDaemon(sys *System, cfg DaemonConfig) *Daemon { return daemon.New(sys, cfg) }
+
+// QueryMethod is the wire method name for medical queries;
+// EncodeQueryRequest/DecodeQueryResponse build and split its payloads
+// for clients driving a daemon through a bare Transport.
+const QueryMethod = core.QueryMethod
+
+// EncodeQueryRequest builds the wire request body for QueryMethod.
+func EncodeQueryRequest(spec QuerySpec) ([]byte, error) { return core.EncodeQueryRequest(spec) }
 
 // Fault injection and resilience (chaos testing the simulated
 // deployment: Config.LinkFaults, Config.DeviceFaults, Config.Checksums,
