@@ -1,6 +1,8 @@
 # Pre-merge check: vet, build, the repo's own static analysis
-# (qbismlint — determinism/spanpair/lockguard/errwrap/opproto, see
-# DESIGN.md §11), the full test suite under the race detector (the
+# (qbismlint — determinism/spanpair/lockguard/errwrap/opproto plus the
+# interprocedural closer/goexit/lockorder/atomicmix suite, see
+# DESIGN.md §11 and §15), the suppression budget (lint-ignores), the
+# full test suite under the race detector (the
 # chaos, netsim, and planner-equivalence concurrency tests are required
 # to be race-clean), the degraded-shard chaos suite (make chaos),
 # per-package coverage floors, a fuzz smoke pass, a closed-loop load
@@ -20,9 +22,14 @@ COVER_FLOOR ?= 70.0
 # Per-target budget for the fuzz smoke pass.
 FUZZTIME ?= 5s
 
-.PHONY: check vet build lint test race cover chaos fuzz-smoke bench bench-smoke loadtest-smoke
+# Checked-in ceiling for //lint:ignore directives. Every suppression
+# needs a reason in the code AND room in this budget — raising it is a
+# reviewed change. See `make lint-ignores` for the inventory.
+LINT_IGNORE_BUDGET := $(shell cat lint_ignore_budget.txt)
 
-check: vet build lint race chaos cover fuzz-smoke loadtest-smoke bench-smoke
+.PHONY: check vet build lint lint-ignores test race cover chaos fuzz-smoke bench bench-smoke loadtest-smoke
+
+check: vet build lint lint-ignores race chaos cover fuzz-smoke loadtest-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,9 +40,17 @@ build:
 # Repo-specific static analysis. Exits non-zero on any unsuppressed
 # diagnostic; suppressions are `//lint:ignore <check> <reason>` lines.
 # The final line is always "qbismlint: N files, M diagnostics,
-# K suppressed" so regressions show up in CI logs.
+# K suppressed in D" (D = analysis wall time) so regressions — in
+# findings or in analyzer speed — show up in CI logs.
 lint:
 	$(GO) run ./cmd/qbismlint
+
+# Inventory every //lint:ignore directive with its reason and fail if
+# the count exceeds the checked-in budget (lint_ignore_budget.txt).
+# Suppressions are debt: adding one means either deleting another or
+# raising the budget in a reviewed diff.
+lint-ignores:
+	$(GO) run ./cmd/qbismlint -ignores -ignore-budget $(LINT_IGNORE_BUDGET)
 
 test:
 	$(GO) test ./...

@@ -195,6 +195,7 @@ func main() {
 	if err != nil {
 		fail("load: %v", err)
 	}
+	defer sys.Close()
 	rep := report{
 		Config: benchConfig{
 			Bits: *bits, PETs: *pets, MRIs: *mris, Iters: *iters, Workers: *workers,
@@ -261,6 +262,7 @@ func measureCluster(cfg qbism.Config, workers int) clusterReport {
 	if err != nil {
 		fail("load cluster: %v", err)
 	}
+	defer cs.Close()
 	method := cs.Nodes[0][0].Cfg.Method
 	var specs []qbism.QuerySpec
 	for _, st := range cs.Studies {
@@ -800,6 +802,7 @@ func measureQueryable(sys *qbism.System, cfg qbism.Config, iters int) queryableR
 	if err != nil {
 		fail("load runs twin: %v", err)
 	}
+	defer runsSys.Close()
 	b := bands[len(bands)/2]
 	hi := uint32(sys.Side()/4 - 1)
 	box := [6]uint32{0, 0, 0, hi, hi, hi}

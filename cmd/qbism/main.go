@@ -311,6 +311,7 @@ func runClusterQuery(cfg qbism.Config, shards, replicas int, deadNode, slowNode 
 	if err != nil {
 		fail("load cluster: %v", err)
 	}
+	defer cs.Close()
 	perShard := make([]int, shards)
 	for sh, nodes := range cs.Nodes {
 		perShard[sh] = len(nodes[0].Studies)

@@ -77,6 +77,10 @@ func run(addr, admin string, maxConns int, rate, burst float64, drainTimeout tim
 		MaxConns:  maxConns,
 		Admission: transport.AdmissionConfig{Rate: rate, Burst: burst},
 	})
+	// Close is idempotent and safe after a clean Drain; deferring it
+	// here also force-closes lingering connections when the drain
+	// deadline expires.
+	defer d.Close()
 	if err := d.Start(); err != nil {
 		return err
 	}

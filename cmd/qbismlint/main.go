@@ -1,17 +1,26 @@
 // Command qbismlint runs the repo's static-analysis suite (see
-// internal/lint and DESIGN.md §11) over every package under the module
-// root and exits non-zero if any unsuppressed diagnostic remains.
+// internal/lint and DESIGN.md §11/§15) over every package under the
+// module root and exits non-zero if any unsuppressed diagnostic
+// remains.
 //
 // Usage:
 //
-//	qbismlint [-C dir] [-v]
+//	qbismlint [-C dir] [-v] [-json] [-ignores] [-ignore-budget N]
 //
 // Diagnostics print as file:line:col: check: message. Suppressed
 // findings (covered by a //lint:ignore <check> <reason> directive on
 // the same or preceding line) are listed only with -v. The final line
 // is always the one-line summary:
 //
-//	qbismlint: N files, M diagnostics, K suppressed
+//	qbismlint: N files, M diagnostics, K suppressed in D
+//
+// -json switches the whole report to the stable machine-readable
+// schema (one object; diagnostics carry file/line/col/check/message/
+// suppressed/suppress_reason). -ignores instead inventories every
+// //lint:ignore directive in the tree with its reason; with
+// -ignore-budget N the command exits 1 when the directive count
+// exceeds N, which is how `make lint-ignores` keeps suppressions from
+// quietly accumulating.
 package main
 
 import (
@@ -24,7 +33,10 @@ import (
 
 func main() {
 	dir := flag.String("C", ".", "module root to analyze (directory containing go.mod)")
-	verbose := flag.Bool("v", false, "also list suppressed diagnostics with their reasons")
+	verbose := flag.Bool("v", false, "also list suppressed diagnostics with their reasons, and per-analyzer timings")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON (stable schema) instead of text")
+	ignores := flag.Bool("ignores", false, "inventory every //lint:ignore directive instead of reporting diagnostics")
+	budget := flag.Int("ignore-budget", -1, "with -ignores: exit 1 if the directive count exceeds this budget")
 	flag.Parse()
 
 	res, err := lint.CheckModule(*dir)
@@ -32,6 +44,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qbismlint:", err)
 		os.Exit(2)
 	}
+
+	if *ignores {
+		for _, ig := range res.Ignores {
+			fmt.Printf("%s:%d: %s: %s\n", ig.File, ig.Line, ig.Check, ig.Reason)
+		}
+		fmt.Printf("qbismlint: %d ignore directives", len(res.Ignores))
+		if *budget >= 0 {
+			fmt.Printf(" (budget %d)", *budget)
+		}
+		fmt.Println()
+		if *budget >= 0 && len(res.Ignores) > *budget {
+			fmt.Fprintf(os.Stderr, "qbismlint: ignore budget exceeded: %d > %d — remove a suppression or raise the checked-in budget with justification\n",
+				len(res.Ignores), *budget)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *jsonOut {
+		out, jerr := res.JSON()
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "qbismlint:", jerr)
+			os.Exit(2)
+		}
+		fmt.Printf("%s\n", out)
+		if len(res.Unsuppressed()) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	for _, d := range res.Diagnostics {
 		if d.Suppressed {
 			if *verbose {
@@ -40,6 +83,11 @@ func main() {
 			continue
 		}
 		fmt.Println(d)
+	}
+	if *verbose {
+		for _, t := range res.Timings {
+			fmt.Printf("qbismlint: %-12s %s\n", t.Name, t.Elapsed)
+		}
 	}
 	fmt.Println(res.Summary())
 	if len(res.Unsuppressed()) > 0 {

@@ -28,6 +28,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	fmt.Printf("loaded: %d structures, %d studies\n\n", len(sys.Atlas.Structures), len(sys.Studies))
 
 	// Mixed query: high activity inside the right hemisphere (ntal2) of

@@ -26,6 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 
 	// Table 4's query: the consistent-activity REGION across all 5
 	// studies, once per encoding method. Hilbert runs should read the

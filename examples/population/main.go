@@ -23,6 +23,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 
 	// 1. Spatial indexing: "which studies show medium-or-higher activity
 	// near this location?" answered through an R-tree over the band

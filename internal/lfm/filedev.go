@@ -36,17 +36,23 @@ func (d *FileDevice) Close() error { return d.f.Close() }
 
 // NewFileBacked creates a Manager whose device is the given file. The
 // capacity is rounded up to a power-of-two multiple of pageSize exactly
-// as New does; the file is grown to match.
+// as New does; the file is grown to match. The manager takes ownership
+// of dev on success — Manager.Close releases it — and closes it itself
+// on error, so the caller never needs to.
 func NewFileBacked(dev *FileDevice, pageSize int) (*Manager, error) {
 	m, err := New(dev.capacity, pageSize)
 	if err != nil {
+		dev.Close()
 		return nil, err
 	}
 	if err := dev.f.Truncate(int64(m.capacity)); err != nil {
+		dev.Close()
 		return nil, fmt.Errorf("lfm: grow device: %w", err)
 	}
 	//lint:ignore lockguard m was just built by New and is not yet shared with any other goroutine
 	m.dev = nil
 	m.file = dev.f
+	//lint:ignore lockguard m was just built by New and is not yet shared with any other goroutine
+	m.fdev = dev
 	return m, nil
 }

@@ -106,8 +106,9 @@ type Manager struct {
 	mu        sync.Mutex
 	pageSize  uint64
 	capacity  uint64
-	dev       []byte   // in-memory device (nil when file-backed); guarded by mu
-	file      *os.File // file-backed device (nil when in-memory)
+	dev       []byte      // in-memory device (nil when file-backed); guarded by mu
+	file      *os.File    // file-backed device (nil when in-memory)
+	fdev      *FileDevice // owner of file, closed by Close; guarded by mu
 	maxOrder  int
 	freeLists [][]uint64       // freeLists[k] = offsets of free blocks of order k; guarded by mu
 	fields    map[Handle]field // guarded by mu
@@ -206,6 +207,22 @@ func (m *Manager) ResetStats() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats = Stats{}
+}
+
+// Close releases the backing device. In-memory managers hold no
+// external resources, so Close is a no-op for them; a file-backed
+// manager closes the device file it took ownership of in NewFileBacked.
+// The manager must not be used after Close.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fdev == nil {
+		return nil
+	}
+	dev := m.fdev
+	m.fdev = nil
+	m.file = nil
+	return dev.Close()
 }
 
 // NumFields returns the number of live long fields.

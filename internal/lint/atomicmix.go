@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer reports variables that are accessed through
+// sync/atomic in one place and with plain loads or stores in another.
+// Mixed access is the subtle half of a data race: the atomic side
+// pays for ordering the plain side silently forfeits, the race
+// detector only catches it when both sides actually interleave in a
+// test run, and the failure is a torn read in production. The typed
+// atomics (atomic.Bool, atomic.Int64, ...) are immune by construction
+// — the value is unexported inside the wrapper — so this analyzer only
+// has to police the legacy `atomic.AddInt64(&x.f, 1)` form.
+//
+// Exempt plain accesses, because they happen before the value is
+// shared: composite-literal initialization, and accesses through a
+// local that was just built from a composite literal in the same
+// function (the constructor idiom, same rule lockguard uses).
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "variables touched by sync/atomic are never also accessed with plain loads/stores",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Phase 1: every variable whose address feeds a sync/atomic call,
+	// package-wide, plus the nodes that make up those calls (exempt).
+	atomicVars := make(map[*types.Var]token.Pos) // var -> first atomic use
+	exempt := make(map[ast.Node]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				// Initialization before the value can be shared.
+				markSubtree(n, exempt)
+			case *ast.CallExpr:
+				if path, _, ok := pkgFunc(pass.Pkg, n); ok && path == "sync/atomic" && len(n.Args) > 0 {
+					if v := addressedVar(pass.Pkg, n.Args[0]); v != nil {
+						if _, seen := atomicVars[v]; !seen {
+							atomicVars[v] = n.Pos()
+						}
+					}
+					markSubtree(n.Args[0], exempt)
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Phase 2: plain accesses to those variables anywhere else in the
+	// package.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := freshLocals(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if exempt[n] {
+					return false
+				}
+				var v *types.Var
+				var atPos token.Pos
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					sel, ok := pass.Pkg.Info.Selections[n]
+					if !ok {
+						return true
+					}
+					fv, ok := sel.Obj().(*types.Var)
+					if !ok {
+						return true
+					}
+					if base, isID := n.X.(*ast.Ident); isID {
+						if bv, isVar := pass.Pkg.Info.Uses[base].(*types.Var); isVar && fresh[bv] {
+							return true // constructor-fresh receiver
+						}
+					}
+					v, atPos = fv, n.Pos()
+				case *ast.Ident:
+					uv, ok := pass.Pkg.Info.Uses[n].(*types.Var)
+					if !ok || uv.IsField() {
+						return true // field idents are handled via their SelectorExpr
+					}
+					v, atPos = uv, n.Pos()
+				default:
+					return true
+				}
+				first, isAtomic := atomicVars[v]
+				if !isAtomic {
+					return true
+				}
+				pass.Report(atPos, "%s is accessed with sync/atomic at %s but with a plain load/store here; mixed access is a data race",
+					atomicVarLabel(pass.Pkg, v), pass.Pkg.Fset.Position(first))
+				return false
+			})
+		}
+	}
+}
+
+// addressedVar resolves `&x.f` or `&v` to the variable being addressed;
+// nil for anything else (already-held pointers are invisible, by
+// design: the analyzer stays quiet where it cannot see).
+func addressedVar(pkg *Package, arg ast.Expr) *types.Var {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	switch x := un.X.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// markSubtree marks every node under root as exempt from plain-access
+// reporting.
+func markSubtree(root ast.Node, exempt map[ast.Node]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n != nil {
+			exempt[n] = true
+		}
+		return true
+	})
+}
+
+// atomicVarLabel names a variable for a diagnostic: "Counter.v" for a
+// field, the bare name otherwise. lockLabel already implements exactly
+// this (it is not mutex-specific).
+func atomicVarLabel(pkg *Package, v *types.Var) string {
+	_ = pkg
+	return lockLabel(v)
+}

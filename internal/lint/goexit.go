@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GoExitAnalyzer is the goroutine half of the interprocedural suite:
+// every `go` statement must start a body with a provable exit — a
+// bounded loop condition, a range over a channel (closed by the
+// producer), a select arm that returns, a plain return, or a
+// terminating call. What it reports is the leak shape the transport
+// accept-loop and drain-waiter tests only sample at runtime: an
+// unconditional `for { ... }` (or bare `select{}`) that no statement
+// can leave, either directly in the goroutine body or in a module
+// function the body calls (Program.InescapableLoop).
+//
+// Dynamic targets (interface methods, stdlib calls like
+// http.Server.Serve) resolve to no declaration and are trusted to
+// return — the analyzer is deliberately quiet where it cannot see.
+var GoExitAnalyzer = &Analyzer{
+	Name:      "goexit",
+	Doc:       "every started goroutine has a provable exit signal",
+	RunModule: runGoExit,
+}
+
+func runGoExit(mp *ModulePass) {
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(mp, pkg, gs)
+				return true
+			})
+		}
+	}
+}
+
+func checkGoStmt(mp *ModulePass, pkg *Package, gs *ast.GoStmt) {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		if pos := inescapableLoopIn(lit.Body); pos != token.NoPos {
+			mp.Report(gs.Pos(), "goroutine never exits: the loop at %s has no reachable return, break, or terminating call",
+				mp.fset.Position(pos))
+			return
+		}
+		// A body that just drives a module function inherits that
+		// function's exit behavior.
+		checkGoCalls(mp, pkg, lit.Body)
+		return
+	}
+	// go s.acceptLoop(), go worker(ch), ...
+	fi := mp.Prog.Callee(pkg, gs.Call)
+	if fi == nil {
+		return // dynamic or stdlib target: trusted to return
+	}
+	if pos := mp.Prog.InescapableLoop(fi); pos != token.NoPos {
+		mp.Report(gs.Pos(), "goroutine runs %s, which loops forever at %s with no exit signal",
+			fi.Fn.Name(), mp.fset.Position(pos))
+	}
+}
+
+// checkGoCalls looks at the calls a goroutine body makes directly (its
+// own statements, not nested literals): a call to a module function
+// that can never return means this goroutine can never exit either —
+// unless a later return path exists, which inescapableLoopIn already
+// ruled out for loops; for call chains we only flag unconditional
+// top-level calls.
+func checkGoCalls(mp *ModulePass, pkg *Package, body *ast.BlockStmt) {
+	for _, s := range body.List {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fi := mp.Prog.Callee(pkg, call)
+		if fi == nil {
+			continue
+		}
+		if pos := mp.Prog.InescapableLoop(fi); pos != token.NoPos {
+			mp.Report(call.Pos(), "goroutine calls %s, which loops forever at %s with no exit signal",
+				fi.Fn.Name(), mp.fset.Position(pos))
+		}
+	}
+}

@@ -1,25 +1,32 @@
 // Package lint is qbism's repo-aware static-analysis suite: a
-// zero-dependency, vet-style analyzer driver plus the five analyzers
+// zero-dependency, vet-style analyzer driver plus the nine analyzers
 // that machine-check the invariants earlier PRs introduced by
 // convention (deterministic simulation, span pairing, mutex guard
-// discipline, error-chain wrapping, operator protocol). See DESIGN.md
-// §11.
+// discipline, error-chain wrapping, operator protocol, and — on the
+// interprocedural core — resource closing, goroutine exits, lock
+// ordering, and atomic/plain access mixing). See DESIGN.md §11 and §15.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer checks one invariant. Match selects the packages it
-// applies to; Run reports diagnostics through the Pass.
+// applies to; Run reports diagnostics through the Pass. Analyzers that
+// need the whole module at once (call graphs, cross-package lock
+// ordering) implement RunModule instead: it runs once after the
+// per-package passes, over every loaded package and the shared Program.
 type Analyzer struct {
-	Name  string
-	Doc   string
-	Match func(pkg *Package) bool
-	Run   func(pass *Pass)
+	Name      string
+	Doc       string
+	Match     func(pkg *Package) bool
+	Run       func(pass *Pass)
+	RunModule func(pass *ModulePass)
 }
 
 // A Diagnostic is one finding at one source position.
@@ -48,23 +55,68 @@ type Pass struct {
 // //lint:ignore directive covers it, the diagnostic is kept but marked
 // suppressed.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
-	position := p.Pkg.Fset.Position(pos)
+	report(p.Pkg.Fset, p.diags, p.sup, p.Analyzer.Name, pos, format, args...)
+}
+
+// A ModulePass is one module-level analyzer run over every package.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Prog     *Program
+
+	fset  *token.FileSet
+	diags *[]Diagnostic
+	sup   *suppressions
+}
+
+// Report records a module-level diagnostic at pos; suppression
+// directives from any package apply (they are matched by file name).
+func (p *ModulePass) Report(pos token.Pos, format string, args ...any) {
+	report(p.fset, p.diags, p.sup, p.Analyzer.Name, pos, format, args...)
+}
+
+func report(fset *token.FileSet, diags *[]Diagnostic, sup *suppressions, check string, pos token.Pos, format string, args ...any) {
+	position := fset.Position(pos)
 	d := Diagnostic{
 		Pos:     position,
-		Check:   p.Analyzer.Name,
+		Check:   check,
 		Message: fmt.Sprintf(format, args...),
 	}
-	if reason, ok := p.sup.covers(position, p.Analyzer.Name); ok {
+	if reason, ok := sup.covers(position, check); ok {
 		d.Suppressed = true
 		d.SuppressReason = reason
 	}
-	*p.diags = append(*p.diags, d)
+	*diags = append(*diags, d)
+}
+
+// AnalyzerTiming is one analyzer's cumulative wall time across the run.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// IgnoreEntry is one //lint:ignore directive found in the tree, whether
+// or not it suppressed anything this run.
+type IgnoreEntry struct {
+	File   string
+	Line   int
+	Check  string
+	Reason string
 }
 
 // Result is the outcome of running analyzers over a package set.
 type Result struct {
 	Files       int
 	Diagnostics []Diagnostic // all findings, suppressed included, sorted by position
+
+	// Ignores inventories every //lint:ignore directive seen, sorted by
+	// position — the `make lint-ignores` budget reads this.
+	Ignores []IgnoreEntry
+
+	// Elapsed is total analysis wall time; Timings breaks it down per
+	// analyzer in run order.
+	Elapsed time.Duration
+	Timings []AnalyzerTiming
 }
 
 // Unsuppressed returns the findings not covered by an ignore directive.
@@ -89,13 +141,61 @@ func (r *Result) NumSuppressed() int {
 	return n
 }
 
-// Summary renders the one-line log summary.
+// Summary renders the one-line log summary, including analysis wall
+// time so CI logs show when the suite gets slow.
 func (r *Result) Summary() string {
-	return fmt.Sprintf("qbismlint: %d files, %d diagnostics, %d suppressed",
-		r.Files, len(r.Unsuppressed()), r.NumSuppressed())
+	return fmt.Sprintf("qbismlint: %d files, %d diagnostics, %d suppressed in %s",
+		r.Files, len(r.Unsuppressed()), r.NumSuppressed(), r.Elapsed.Round(time.Millisecond))
 }
 
-// Analyzers returns the full analyzer suite in run order.
+// diagnosticJSON is the stable wire shape of one diagnostic: the
+// contract for -json consumers (CI, editors). Field names are frozen.
+type diagnosticJSON struct {
+	File           string `json:"file"`
+	Line           int    `json:"line"`
+	Col            int    `json:"col"`
+	Check          string `json:"check"`
+	Message        string `json:"message"`
+	Suppressed     bool   `json:"suppressed"`
+	SuppressReason string `json:"suppress_reason,omitempty"`
+}
+
+type resultJSON struct {
+	Files        int              `json:"files"`
+	Unsuppressed int              `json:"unsuppressed"`
+	Suppressed   int              `json:"suppressed"`
+	ElapsedMS    int64            `json:"elapsed_ms"`
+	Diagnostics  []diagnosticJSON `json:"diagnostics"`
+}
+
+// JSON renders the result in the stable machine-readable schema used
+// by `qbismlint -json`: one object with file/line/col/check/message/
+// suppressed per diagnostic plus the summary counts.
+func (r *Result) JSON() ([]byte, error) {
+	out := resultJSON{
+		Files:        r.Files,
+		Unsuppressed: len(r.Unsuppressed()),
+		Suppressed:   r.NumSuppressed(),
+		ElapsedMS:    r.Elapsed.Milliseconds(),
+		Diagnostics:  []diagnosticJSON{}, // [] not null when empty
+	}
+	for _, d := range r.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, diagnosticJSON{
+			File:           d.Pos.Filename,
+			Line:           d.Pos.Line,
+			Col:            d.Pos.Column,
+			Check:          d.Check,
+			Message:        d.Message,
+			Suppressed:     d.Suppressed,
+			SuppressReason: d.SuppressReason,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Analyzers returns the full analyzer suite in run order: the five
+// per-package checks from PR 5, then the four interprocedural checks
+// built on the Program core.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -103,25 +203,60 @@ func Analyzers() []*Analyzer {
 		LockGuardAnalyzer,
 		ErrWrapAnalyzer,
 		OpProtoAnalyzer,
+		CloserAnalyzer,
+		GoExitAnalyzer,
+		LockOrderAnalyzer,
+		AtomicMixAnalyzer,
 	}
 }
 
 // Check runs the given analyzers over the packages and returns all
 // diagnostics, sorted by file/line/column. Malformed ignore directives
 // (missing check name or reason) are themselves diagnostics.
+// Per-package analyzers run first, package by package; module-level
+// analyzers (RunModule) then run once over the whole set with the
+// shared interprocedural Program.
 func Check(pkgs []*Package, analyzers []*Analyzer) *Result {
+	start := time.Now()
 	res := &Result{}
 	var diags []Diagnostic
+	timings := make(map[string]time.Duration)
+	merged := &suppressions{}
+	var fset *token.FileSet
 	for _, pkg := range pkgs {
+		if fset == nil {
+			fset = pkg.Fset
+		}
 		res.Files += len(pkg.Files)
 		sup := collectSuppressions(pkg, &diags)
+		merged.directives = append(merged.directives, sup.directives...)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.Match != nil && !a.Match(pkg) {
 				continue
 			}
+			t0 := time.Now()
 			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, sup: sup}
 			a.Run(pass)
+			timings[a.Name] += time.Since(t0)
 		}
+	}
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if prog == nil {
+			prog = BuildProgram(pkgs)
+		}
+		t0 := time.Now()
+		a.RunModule(&ModulePass{
+			Analyzer: a, Pkgs: pkgs, Prog: prog,
+			fset: fset, diags: &diags, sup: merged,
+		})
+		timings[a.Name] += time.Since(t0)
 	}
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -134,6 +269,23 @@ func Check(pkgs []*Package, analyzers []*Analyzer) *Result {
 		return a.Column < b.Column
 	})
 	res.Diagnostics = diags
+	for _, d := range merged.directives {
+		res.Ignores = append(res.Ignores, IgnoreEntry{
+			File: d.file, Line: d.line, Check: d.check, Reason: d.reason,
+		})
+	}
+	sort.SliceStable(res.Ignores, func(i, j int) bool {
+		if res.Ignores[i].File != res.Ignores[j].File {
+			return res.Ignores[i].File < res.Ignores[j].File
+		}
+		return res.Ignores[i].Line < res.Ignores[j].Line
+	})
+	for _, a := range analyzers {
+		if dt, ok := timings[a.Name]; ok {
+			res.Timings = append(res.Timings, AnalyzerTiming{Name: a.Name, Elapsed: dt})
+		}
+	}
+	res.Elapsed = time.Since(start)
 	return res
 }
 

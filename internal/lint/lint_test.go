@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -8,6 +9,7 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
 
 // repoRoot is the module root, two directories up from this package.
@@ -147,6 +149,34 @@ func TestOpProtoFixture(t *testing.T) {
 	checkFixture(t, "opproto", OpProtoAnalyzer)
 }
 
+func TestCloserFixture(t *testing.T) {
+	res := checkFixture(t, "closer", CloserAnalyzer)
+	if got := res.NumSuppressed(); got != 1 {
+		t.Errorf("suppressed = %d, want 1", got)
+	}
+}
+
+func TestGoExitFixture(t *testing.T) {
+	res := checkFixture(t, "goexit", GoExitAnalyzer)
+	if got := res.NumSuppressed(); got != 1 {
+		t.Errorf("suppressed = %d, want 1", got)
+	}
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	res := checkFixture(t, "lockorder", LockOrderAnalyzer)
+	if got := res.NumSuppressed(); got != 1 {
+		t.Errorf("suppressed = %d, want 1", got)
+	}
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	res := checkFixture(t, "atomicmix", AtomicMixAnalyzer)
+	if got := res.NumSuppressed(); got != 1 {
+		t.Errorf("suppressed = %d, want 1", got)
+	}
+}
+
 func TestMalformedIgnoreDirectives(t *testing.T) {
 	pkg := loadFixture(t, "badignore")
 	res := Check([]*Package{pkg}, nil)
@@ -191,20 +221,97 @@ func TestRepoClean(t *testing.T) {
 	if !strings.Contains(res.Summary(), fmt.Sprintf("%d files", res.Files)) {
 		t.Errorf("summary %q does not include the file count", res.Summary())
 	}
+	// The interprocedural analyzers must actually have run over the
+	// repo: each records a timing entry.
+	ran := make(map[string]bool)
+	for _, tm := range res.Timings {
+		ran[tm.Name] = true
+	}
+	for _, name := range []string{"closer", "goexit", "lockorder", "atomicmix"} {
+		if !ran[name] {
+			t.Errorf("analyzer %s recorded no timing — did it run?", name)
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+	// Every ignore directive in the tree is inventoried with a reason.
+	if len(res.Ignores) == 0 {
+		t.Error("no ignore directives inventoried; the repo has several")
+	}
+	for _, ig := range res.Ignores {
+		if strings.TrimSpace(ig.Reason) == "" || ig.Check == "" {
+			t.Errorf("ignore inventory entry without check/reason: %+v", ig)
+		}
+	}
 }
 
 // TestSummaryFormat pins the exact one-line summary shape the Makefile
-// lint target promises in CI logs.
+// lint target promises in CI logs, including the wall-time suffix.
 func TestSummaryFormat(t *testing.T) {
 	pkg := loadFixture(t, "errwrap")
 	res := Check([]*Package{pkg}, []*Analyzer{ErrWrapAnalyzer})
-	want := fmt.Sprintf("qbismlint: %d files, %d diagnostics, %d suppressed",
-		len(pkg.Files), len(res.Unsuppressed()), res.NumSuppressed())
+	want := fmt.Sprintf("qbismlint: %d files, %d diagnostics, %d suppressed in %s",
+		len(pkg.Files), len(res.Unsuppressed()), res.NumSuppressed(),
+		res.Elapsed.Round(time.Millisecond))
 	if res.Summary() != want {
 		t.Errorf("Summary() = %q, want %q", res.Summary(), want)
 	}
 	if res.NumSuppressed()+len(res.Unsuppressed()) != len(res.Diagnostics) {
 		t.Error("suppressed + unsuppressed != total")
+	}
+}
+
+// TestJSONSchema pins the stable -json wire shape: frozen field names,
+// a never-null diagnostics array, and counts that match the result.
+func TestJSONSchema(t *testing.T) {
+	pkg := loadFixture(t, "errwrap")
+	res := Check([]*Package{pkg}, []*Analyzer{ErrWrapAnalyzer})
+	raw, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Files        int   `json:"files"`
+		Unsuppressed int   `json:"unsuppressed"`
+		Suppressed   int   `json:"suppressed"`
+		ElapsedMS    int64 `json:"elapsed_ms"`
+		Diagnostics  []struct {
+			File           string `json:"file"`
+			Line           int    `json:"line"`
+			Col            int    `json:"col"`
+			Check          string `json:"check"`
+			Message        string `json:"message"`
+			Suppressed     bool   `json:"suppressed"`
+			SuppressReason string `json:"suppress_reason"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Files != res.Files || got.Unsuppressed != len(res.Unsuppressed()) || got.Suppressed != res.NumSuppressed() {
+		t.Errorf("JSON counts = %d/%d/%d, want %d/%d/%d",
+			got.Files, got.Unsuppressed, got.Suppressed,
+			res.Files, len(res.Unsuppressed()), res.NumSuppressed())
+	}
+	if len(got.Diagnostics) != len(res.Diagnostics) {
+		t.Fatalf("JSON diagnostics = %d, want %d", len(got.Diagnostics), len(res.Diagnostics))
+	}
+	for i, d := range res.Diagnostics {
+		j := got.Diagnostics[i]
+		if j.File != d.Pos.Filename || j.Line != d.Pos.Line || j.Col != d.Pos.Column ||
+			j.Check != d.Check || j.Message != d.Message || j.Suppressed != d.Suppressed {
+			t.Errorf("diagnostic %d round-trip mismatch: %+v vs %s", i, j, d)
+		}
+	}
+	// An empty result must still serialize diagnostics as [], not null.
+	empty := &Result{}
+	raw, err = empty.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"diagnostics": []`) {
+		t.Errorf("empty result JSON lacks a non-null diagnostics array: %s", raw)
 	}
 }
 
@@ -289,7 +396,7 @@ func TestIgnoreCoversSameAndNextLine(t *testing.T) {
 // guard against accidental fixture drift: every fixture package must
 // still parse with comments attached (want comments live there).
 func TestFixturesKeepComments(t *testing.T) {
-	for _, name := range []string{"determinism", "spanpair", "lockguard", "errwrap", "opproto"} {
+	for _, name := range []string{"determinism", "spanpair", "lockguard", "errwrap", "opproto", "closer", "goexit", "lockorder", "atomicmix"} {
 		pkg := loadFixture(t, name)
 		total := 0
 		for _, f := range pkg.Files {

@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrderAnalyzer builds the repo-wide lock-acquisition graph over
+// the mutexes PR 5's `// guarded by` convention names: an edge A → B
+// means some function acquires B (directly, or through a statically
+// resolvable callee) while holding A. It reports
+//
+//   - cycles in the graph — two code paths taking the same two locks in
+//     opposite orders can deadlock under concurrency, whether or not
+//     the chaos suite happens to interleave them; and
+//   - re-entry: a call made while holding lock A, on the same receiver,
+//     into a (typically exported) function whose transitive summary
+//     acquires A again — sync.Mutex is not reentrant, so this is a
+//     guaranteed self-deadlock, the classic "method under s.mu calls
+//     s.Stats()" mistake.
+//
+// Lock identity is the mutex field declaration (serverConn.mu is one
+// lock for every connection); edges between different instances of the
+// same field are skipped unless the receiver expressions provably
+// match, so a per-item lock taken for two different items never reads
+// as self-deadlock. Function literals are separate scopes: a goroutine
+// body's locks are ordered against what it acquires itself, not
+// against locks its spawner held at spawn time.
+var LockOrderAnalyzer = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "the module-wide lock-acquisition graph is acyclic and no call re-enters a held lock",
+	RunModule: runLockOrder,
+}
+
+type lockEdge struct {
+	from, to *types.Var
+}
+
+type lockEdgeInfo struct {
+	pos       token.Position
+	fromLabel string
+	toLabel   string
+}
+
+func runLockOrder(mp *ModulePass) {
+	edges := make(map[lockEdge]*lockEdgeInfo)
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			funcBodies(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+				ls := &lockScanner{mp: mp, pkg: pkg, edges: edges}
+				ls.stmts(body.List)
+			})
+		}
+	}
+	reportLockCycles(mp, edges)
+}
+
+// heldLock is one currently-held mutex in a scan.
+type heldLock struct {
+	v    *types.Var
+	base types.Object // receiver base variable of the lock expr, if an ident
+	pos  token.Pos
+}
+
+// lockScanner walks one function scope in source order, tracking the
+// held set with branch-local snapshots.
+type lockScanner struct {
+	mp    *ModulePass
+	pkg   *Package
+	edges map[lockEdge]*lockEdgeInfo
+	held  []heldLock
+}
+
+func (ls *lockScanner) snapshot() []heldLock {
+	return append([]heldLock(nil), ls.held...)
+}
+
+func (ls *lockScanner) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		ls.stmt(s)
+	}
+}
+
+func (ls *lockScanner) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		ls.expr(s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end — the
+		// conventional pattern; nothing to do. Other deferred calls
+		// run at exit with no locks of interest; skip their bodies.
+		if unlockTarget(ls.pkg.Info, s.Call) != nil {
+			return
+		}
+		for _, a := range s.Call.Args {
+			ls.expr(a)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			ls.expr(e)
+		}
+		for _, e := range s.Lhs {
+			ls.expr(e)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.EmptyStmt, *ast.BranchStmt:
+	case *ast.SendStmt:
+		ls.expr(s.Chan)
+		ls.expr(s.Value)
+	case *ast.GoStmt:
+		// The spawned body is its own scope (funcBodies); arguments are
+		// evaluated here.
+		for _, a := range s.Call.Args {
+			ls.expr(a)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			ls.expr(e)
+		}
+	case *ast.BlockStmt:
+		ls.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		ls.expr(s.Cond)
+		saved := ls.snapshot()
+		ls.stmt(s.Body)
+		ls.held = saved
+		if s.Else != nil {
+			ls.stmt(s.Else)
+			ls.held = saved
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			ls.expr(s.Cond)
+		}
+		saved := ls.snapshot()
+		ls.stmt(s.Body)
+		ls.held = saved
+	case *ast.RangeStmt:
+		ls.expr(s.X)
+		saved := ls.snapshot()
+		ls.stmt(s.Body)
+		ls.held = saved
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			ls.expr(s.Tag)
+		}
+		ls.clauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		ls.clauses(s.Body)
+	case *ast.SelectStmt:
+		ls.clauses(s.Body)
+	case *ast.LabeledStmt:
+		ls.stmt(s.Stmt)
+	}
+}
+
+func (ls *lockScanner) clauses(body *ast.BlockStmt) {
+	saved := ls.snapshot()
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			ls.stmts(cc.Body)
+		case *ast.CommClause:
+			ls.stmts(cc.Body)
+		}
+		ls.held = saved
+	}
+}
+
+// expr scans an expression for calls in evaluation order, skipping
+// function literals (separate scopes).
+func (ls *lockScanner) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			ls.call(call)
+		}
+		return true
+	})
+}
+
+func (ls *lockScanner) call(call *ast.CallExpr) {
+	info := ls.pkg.Info
+	if v := lockTarget(info, call); v != nil {
+		ls.acquire(v, call)
+		return
+	}
+	if v := unlockTarget(info, call); v != nil {
+		ls.release(v)
+		return
+	}
+	callee := ls.mp.Prog.Callee(ls.pkg, call)
+	if callee == nil || len(ls.held) == 0 {
+		return
+	}
+	acq := ls.mp.Prog.LockAcquires(callee)
+	if len(acq) == 0 {
+		return
+	}
+	callBase := callReceiverBase(info, call)
+	for _, h := range ls.held {
+		if acq[h.v] {
+			if h.base != nil && callBase != nil && h.base == callBase {
+				ls.mp.Report(call.Pos(), "%s acquires %s, which is already held here (locked at %s) on the same receiver; sync mutexes are not reentrant — deadlock",
+					callee.Fn.Name(), lockLabel(h.v), ls.mp.fset.Position(h.pos))
+			}
+			continue // same lock, unprovable instance: no edge, no report
+		}
+		for v := range acq {
+			if v != h.v {
+				ls.edge(h.v, v, call.Pos())
+			}
+		}
+	}
+}
+
+func (ls *lockScanner) acquire(v *types.Var, call *ast.CallExpr) {
+	base := lockBase(ls.pkg.Info, call)
+	for _, h := range ls.held {
+		if h.v == v {
+			if h.base != nil && base != nil && h.base == base {
+				ls.mp.Report(call.Pos(), "%s locked again while already held (locked at %s); sync mutexes are not reentrant — deadlock",
+					lockLabel(v), ls.mp.fset.Position(h.pos))
+			}
+			continue
+		}
+		ls.edge(h.v, v, call.Pos())
+	}
+	ls.held = append(ls.held, heldLock{v: v, base: base, pos: call.Pos()})
+}
+
+func (ls *lockScanner) release(v *types.Var) {
+	for i := len(ls.held) - 1; i >= 0; i-- {
+		if ls.held[i].v == v {
+			ls.held = append(ls.held[:i], ls.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (ls *lockScanner) edge(from, to *types.Var, pos token.Pos) {
+	key := lockEdge{from, to}
+	if _, ok := ls.edges[key]; ok {
+		return
+	}
+	ls.edges[key] = &lockEdgeInfo{
+		pos:       ls.mp.fset.Position(pos),
+		fromLabel: lockLabel(from),
+		toLabel:   lockLabel(to),
+	}
+}
+
+// lockBase returns the base variable of a lock call's receiver chain:
+// for s.mu.Lock() the object of `s`; nil when the base is not a plain
+// identifier.
+func lockBase(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		// mu.Lock() on a bare variable: the mutex itself is the base.
+		if id, isID := sel.X.(*ast.Ident); isID {
+			return info.Uses[id]
+		}
+		return nil
+	}
+	if id, isID := inner.X.(*ast.Ident); isID {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// callReceiverBase returns the receiver base object of a method call:
+// for s.Stats() the object of `s`.
+func callReceiverBase(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if id, isID := sel.X.(*ast.Ident); isID {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// reportLockCycles finds cycles in the acquisition graph and reports
+// each once, deterministically anchored at its lexicographically first
+// edge position.
+func reportLockCycles(mp *ModulePass, edges map[lockEdge]*lockEdgeInfo) {
+	adj := make(map[*types.Var][]*types.Var)
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reported := make(map[string]bool)
+	var keys []lockEdge
+	for e := range edges {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := edges[keys[i]].pos, edges[keys[j]].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, e := range keys {
+		path := findPath(adj, e.to, e.from)
+		if path == nil {
+			continue // no way back: not part of a cycle
+		}
+		// Full cycle walk: from -> to -> ... -> from (path runs from
+		// `to` back around, ending at `from`).
+		cycle := append([]*types.Var{e.from, e.to}, path...)
+		labels := make([]string, len(cycle))
+		canonSet := make(map[string]bool)
+		for i, v := range cycle {
+			labels[i] = lockLabel(v)
+			canonSet[labels[i]] = true
+		}
+		// One report per distinct lock set: the same cycle found from a
+		// different starting edge is the same deadlock.
+		canon := make([]string, 0, len(canonSet))
+		for l := range canonSet {
+			canon = append(canon, l)
+		}
+		sort.Strings(canon)
+		key := strings.Join(canon, "|")
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		info := edges[e]
+		mp.reportAt(info.pos, "lockorder",
+			"lock order cycle: %s; two paths can take these locks in opposite orders and deadlock",
+			strings.Join(labels, " -> "))
+	}
+}
+
+// findPath returns a path from -> ... -> to (excluding from, including
+// to), or nil.
+func findPath(adj map[*types.Var][]*types.Var, from, to *types.Var) []*types.Var {
+	seen := map[*types.Var]bool{from: true}
+	var dfs func(v *types.Var) []*types.Var
+	dfs = func(v *types.Var) []*types.Var {
+		for _, next := range adj[v] {
+			if next == to {
+				return []*types.Var{next}
+			}
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			if rest := dfs(next); rest != nil {
+				return append([]*types.Var{next}, rest...)
+			}
+		}
+		return nil
+	}
+	if from == to {
+		return []*types.Var{to}
+	}
+	return dfs(from)
+}
+
+// reportAt records a diagnostic at an already-resolved position (cycle
+// reports aggregate positions from multiple files).
+func (p *ModulePass) reportAt(pos token.Position, check string, format string, args ...any) {
+	d := Diagnostic{
+		Pos:     pos,
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+	if reason, ok := p.sup.covers(pos, check); ok {
+		d.Suppressed = true
+		d.SuppressReason = reason
+	}
+	*p.diags = append(*p.diags, d)
+}

@@ -15,6 +15,9 @@ import (
 // because ownership transfers with it (e.g. sdb.Rows ends its spans in
 // Close). Spans ended by `defer sp.End()` (directly or inside a
 // deferred closure) are ended on every path by construction.
+//
+// The all-paths check runs on the shared lifecycle flow engine in
+// dataflow.go; closer applies the same engine to Close-able resources.
 var SpanPairAnalyzer = &Analyzer{
 	Name: "spanpair",
 	Doc:  "every obs span started must be ended on all paths of the creating function",
@@ -132,11 +135,32 @@ func checkSpanVar(pass *Pass, body *ast.BlockStmt, creationStmt ast.Stmt, creati
 	if esc.deferEnded {
 		return
 	}
-	fl := &spanFlow{pass: pass, obj: obj, creationStmt: creationStmt, creation: creation}
-	st, term := fl.stmts(body.List, spanNotCreated)
-	if st == spanLive && !term {
+	fl := &lifeFlow{
+		info:    pass.Pkg.Info,
+		obj:     obj,
+		acqStmt: creationStmt,
+		isRelease: func(call *ast.CallExpr) bool {
+			return isMethodCallOn(pass.Pkg.Info, call, obj, "End")
+		},
+		onLeakReturn: func(ret *ast.ReturnStmt) {
+			pass.Report(ret.Pos(), "span from %s (started at %s) is not ended on this return path",
+				creationName(creation), pass.Pkg.Fset.Position(creation.Pos()))
+		},
+	}
+	if fl.run(body) {
 		pass.Report(creation.Pos(), "span from %s may reach the end of the function without End", creationName(creation))
 	}
+}
+
+// isMethodCallOn reports whether call is obj.<name>() on exactly the
+// given object.
+func isMethodCallOn(info *types.Info, call *ast.CallExpr, obj types.Object, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && info.Uses[id] == obj
 }
 
 // spanUses classifies every use of a span variable in the function.
@@ -187,12 +211,7 @@ func (u *spanUses) scan(body *ast.BlockStmt) {
 
 // callEnds reports whether call is sp.End() on our object.
 func (u *spanUses) callEnds(call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "End" {
-		return false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	return ok && u.pass.Pkg.Info.Uses[id] == u.obj
+	return isMethodCallOn(u.pass.Pkg.Info, call, u.obj, "End")
 }
 
 func (u *spanUses) closureEnds(fl *ast.FuncLit) bool {
@@ -232,242 +251,17 @@ func (u *spanUses) isMethodReceiver(id *ast.Ident, body *ast.BlockStmt) bool {
 	return ok && call.Fun == sel
 }
 
-// spanFlow is a statement-level abstract interpreter tracking one
-// span's lifecycle through the function.
-type spanState int
-
-const (
-	spanNotCreated spanState = iota
-	spanLive
-	spanEnded
-)
-
-func mergeSpan(a, b spanState) spanState {
-	// A path where the span is live dominates: "ended on all paths"
-	// fails if any path leaves it live.
-	if a == spanLive || b == spanLive {
-		return spanLive
-	}
-	if a == spanEnded || b == spanEnded {
-		return spanEnded
-	}
-	return spanNotCreated
-}
-
-type spanFlow struct {
-	pass         *Pass
-	obj          types.Object
-	creationStmt ast.Stmt
-	creation     *ast.CallExpr
-}
-
-// stmts folds the flow over a statement list; term reports whether the
-// list always terminates (returns/panics) before falling through.
-func (fl *spanFlow) stmts(list []ast.Stmt, st spanState) (spanState, bool) {
-	for _, s := range list {
-		var term bool
-		st, term = fl.stmt(s, st)
-		if term {
-			return st, true
-		}
-	}
-	return st, false
-}
-
-func (fl *spanFlow) stmt(s ast.Stmt, st spanState) (spanState, bool) {
-	if s == fl.creationStmt {
-		return spanLive, false
-	}
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if fl.isEndCall(call) && st == spanLive {
-				return spanEnded, false
-			}
-			if fl.isPanicOrFatal(call) {
-				return st, true
-			}
-		}
-	case *ast.ReturnStmt:
-		if st == spanLive {
-			fl.pass.Report(s.Pos(), "span from %s (started at %s) is not ended on this return path",
-				creationName(fl.creation), fl.pass.Pkg.Fset.Position(fl.creation.Pos()))
-		}
-		return st, true
-	case *ast.BlockStmt:
-		return fl.stmts(s.List, st)
-	case *ast.IfStmt:
-		thenSt, thenTerm := fl.stmts(s.Body.List, st)
-		elseSt, elseTerm := st, false
-		if s.Else != nil {
-			elseSt, elseTerm = fl.stmt(s.Else, st)
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return st, true
-		case thenTerm:
-			return elseSt, false
-		case elseTerm:
-			return thenSt, false
-		default:
-			return mergeSpan(thenSt, elseSt), false
-		}
-	case *ast.ForStmt:
-		bodySt, _ := fl.stmts(s.Body.List, st)
-		return mergeSpan(st, bodySt), false
-	case *ast.RangeStmt:
-		bodySt, _ := fl.stmts(s.Body.List, st)
-		return mergeSpan(st, bodySt), false
-	case *ast.SwitchStmt:
-		return fl.caseClauses(s.Body, st, hasDefaultClause(s.Body))
-	case *ast.TypeSwitchStmt:
-		return fl.caseClauses(s.Body, st, hasDefaultClause(s.Body))
-	case *ast.SelectStmt:
-		return fl.commClauses(s.Body, st)
-	case *ast.LabeledStmt:
-		return fl.stmt(s.Stmt, st)
-	case *ast.BranchStmt:
-		// break/continue/goto leave this statement list; the merged
-		// loop/switch state already includes the pre-body state.
-		return st, true
-	case *ast.AssignStmt:
-		// sp reassigned while live would lose the old span; out of
-		// scope here — escape analysis already rejected other writes.
-	case *ast.DeferStmt, *ast.GoStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
-	}
-	return st, false
-}
-
-func (fl *spanFlow) caseClauses(body *ast.BlockStmt, st spanState, hasDefault bool) (spanState, bool) {
-	merged := spanState(-1)
-	allTerm := true
-	for _, c := range body.List {
-		cc, ok := c.(*ast.CaseClause)
-		if !ok {
-			continue
-		}
-		cs, cterm := fl.stmts(cc.Body, st)
-		if !cterm {
-			allTerm = false
-			if merged < 0 {
-				merged = cs
-			} else {
-				merged = mergeSpan(merged, cs)
-			}
-		}
-	}
-	if !hasDefault {
-		// No default: the switch may fall through unchanged.
-		allTerm = false
-		if merged < 0 {
-			merged = st
-		} else {
-			merged = mergeSpan(merged, st)
-		}
-	}
-	if allTerm || merged < 0 {
-		return st, allTerm
-	}
-	return merged, false
-}
-
-func (fl *spanFlow) commClauses(body *ast.BlockStmt, st spanState) (spanState, bool) {
-	merged := spanState(-1)
-	allTerm := true
-	for _, c := range body.List {
-		cc, ok := c.(*ast.CommClause)
-		if !ok {
-			continue
-		}
-		cs, cterm := fl.stmts(cc.Body, st)
-		if !cterm {
-			allTerm = false
-			if merged < 0 {
-				merged = cs
-			} else {
-				merged = mergeSpan(merged, cs)
-			}
-		}
-	}
-	if allTerm || merged < 0 {
-		return st, allTerm
-	}
-	return merged, false
-}
-
-func (fl *spanFlow) isEndCall(call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "End" {
-		return false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	return ok && fl.pass.Pkg.Info.Uses[id] == fl.obj
-}
-
-// isPanicOrFatal reports calls that never return.
-func (fl *spanFlow) isPanicOrFatal(call *ast.CallExpr) bool {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		return fun.Name == "panic"
-	case *ast.SelectorExpr:
-		switch fun.Sel.Name {
-		case "Fatal", "Fatalf", "Exit", "Fatalln":
-			return true
-		}
-	}
-	return false
-}
-
-func hasDefaultClause(body *ast.BlockStmt) bool {
-	for _, c := range body.List {
-		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
-			return true
-		}
-	}
-	return false
-}
-
-// creationName renders the called expression for messages ("sp.Child"
-// or "tracer.Start").
+// creationName renders the called expression for messages ("sp.Child",
+// "tracer.Start", "Open").
 func creationName(call *ast.CallExpr) string {
-	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-		if id, ok := sel.X.(*ast.Ident); ok {
-			return id.Name + "." + sel.Sel.Name
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
 		}
-		return sel.Sel.Name
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
 	}
-	return "span start"
-}
-
-// nodePath returns the chain of nodes from just below root down to the
-// direct parent of target, ending with the parent (i.e. last element is
-// target's immediate parent). Empty if target isn't under root.
-func nodePath(root ast.Node, target ast.Node) []ast.Node {
-	var stack, found []ast.Node
-	ast.Inspect(root, func(n ast.Node) bool {
-		if found != nil {
-			return false
-		}
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		if n == target {
-			found = append([]ast.Node(nil), stack...)
-			return false
-		}
-		stack = append(stack, n)
-		return true
-	})
-	return found
-}
-
-// enclosingStmt returns the innermost ast.Stmt in a parent chain.
-func enclosingStmt(parents []ast.Node) ast.Stmt {
-	for i := len(parents) - 1; i >= 0; i-- {
-		if s, ok := parents[i].(ast.Stmt); ok {
-			return s
-		}
-	}
-	return nil
+	return "the acquisition"
 }

@@ -1,0 +1,62 @@
+package atomicmix
+
+import "sync/atomic"
+
+type Counter struct {
+	n    int64
+	name string
+}
+
+func (c *Counter) Inc() int64 { return atomic.AddInt64(&c.n, 1) }
+func (c *Counter) Get() int64 { return atomic.LoadInt64(&c.n) }
+
+// --- positives -------------------------------------------------------
+
+// The seeded bug: a plain read of the atomically-updated field.
+func (c *Counter) Racy() int64 {
+	return c.n // want "mixed access is a data race"
+}
+
+// A plain store is just as racy as a plain load.
+func (c *Counter) Reset() {
+	c.n = 0 // want "mixed access is a data race"
+}
+
+var hits int64
+
+func Hit() { atomic.AddInt64(&hits, 1) }
+
+// Package-level variables mix the same way fields do.
+func ReadHits() int64 {
+	return hits // want "mixed access is a data race"
+}
+
+// --- negatives -------------------------------------------------------
+
+// name is never touched atomically: plain access is fine.
+func (c *Counter) Name() string { return c.name }
+
+// Composite-literal initialization happens before the value is shared.
+func NewCounter() *Counter {
+	return &Counter{n: 0, name: "c"}
+}
+
+// Stores through a constructor-fresh local are pre-publication too.
+func fresh() *Counter {
+	c := &Counter{name: "f"}
+	c.n = 7
+	return c
+}
+
+// Typed atomics are immune by construction; nothing to report here.
+type Flag struct{ on atomic.Bool }
+
+func (f *Flag) Set()       { f.on.Store(true) }
+func (f *Flag) IsOn() bool { return f.on.Load() }
+
+// --- suppression -----------------------------------------------------
+
+func SuppressedRead(c *Counter) int64 {
+	//lint:ignore atomicmix fixture exercises the suppression path
+	return c.n
+}

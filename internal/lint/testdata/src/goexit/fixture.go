@@ -1,0 +1,108 @@
+package goexit
+
+func step() {}
+
+// spinForever is an inescapable loop behind a name: any goroutine that
+// runs it can never exit.
+func spinForever() {
+	for {
+		step()
+	}
+}
+
+// --- positives -------------------------------------------------------
+
+// Unconditional for-loop with no way out, directly in the literal.
+func SpinLit() {
+	go func() { // want "goroutine never exits"
+		for {
+			step()
+		}
+	}()
+}
+
+// A bare select blocks forever.
+func BlockForever() {
+	go func() { // want "goroutine never exits"
+		select {}
+	}()
+}
+
+// The named-function form of the same leak.
+func SpinNamed() {
+	go spinForever() // want "loops forever at .* with no exit signal"
+}
+
+// The literal just drives the spinning function.
+func SpinCall() {
+	go func() {
+		spinForever() // want "goroutine calls spinForever"
+	}()
+}
+
+// The seeded accept-loop bug: break inside the select leaves the
+// select, not the for — the goroutine still never exits.
+func BreakTrap(ch chan int) {
+	go func() { // want "goroutine never exits"
+		for {
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+// --- negatives -------------------------------------------------------
+
+// Range over a channel exits when the producer closes it.
+func DrainChan(ch chan int) {
+	go func() {
+		for range ch {
+			step()
+		}
+	}()
+}
+
+// A done-channel select arm that returns is an exit signal.
+func WithDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+// Bounded loops terminate on their condition.
+func Bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			step()
+		}
+	}()
+}
+
+// A labeled break does leave the outer loop.
+func LabeledBreak(ch chan int) {
+	go func() {
+	drain:
+		for {
+			select {
+			case <-ch:
+				break drain
+			}
+		}
+	}()
+}
+
+// --- suppression -----------------------------------------------------
+
+func SuppressedSpin() {
+	//lint:ignore goexit fixture exercises the suppression path
+	go spinForever()
+}

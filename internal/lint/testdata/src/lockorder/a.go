@@ -1,0 +1,73 @@
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+	n  int
+}
+
+// ab acquires A.mu then B.mu; the mirror image lives in b.go, so the
+// two files together form the cycle. The cycle is reported once, at
+// this file's edge (the lexicographically first).
+func (a *A) ab() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.mu.Lock() // want "lock order cycle"
+	n := a.b.n
+	a.b.mu.Unlock()
+	return n + a.n
+}
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Count is the exported API that locks for itself.
+func (s *S) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Bad re-enters through the exported API while already holding the
+// lock on the same receiver — the seeded self-deadlock.
+func (s *S) Bad() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Count() // want "sync mutexes are not reentrant"
+}
+
+// Relock is the direct form of the same mistake.
+func (s *S) Relock() {
+	s.mu.Lock()
+	s.mu.Lock() // want "locked again while already held"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// Merge locks the same field on two different receivers: fine, and the
+// analyzer must not confuse the instances.
+func Merge(x, y *S) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	return x.n + y.n
+}
+
+// SuppressedReentry shows the escape hatch.
+func (s *S) SuppressedReentry() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockorder fixture exercises the suppression path
+	return s.Count()
+}

@@ -109,6 +109,32 @@ type ClusterSystem struct {
 	SlowLog *obs.SlowLog
 
 	routes map[int]cluster.Key // studyID -> routing key
+	// tnodes flattens every transportNode handed to the cluster, so
+	// Close can release dialed transports the cluster layer holds.
+	tnodes []*transportNode
+}
+
+// Close releases every node the cluster built: each replica's dialed
+// transport and each node System (its own transport and long-field
+// manager). All underlying closes are idempotent, so the overlap
+// between a node's transport and its System is harmless. Close also
+// works on a partially constructed cluster, which is how
+// NewClusterSystem unwinds its error paths.
+func (cs *ClusterSystem) Close() error {
+	var first error
+	for _, n := range cs.tnodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, replicas := range cs.Nodes {
+		for _, sys := range replicas {
+			if err := sys.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // NewClusterSystem enumerates the corpus, partitions it by
@@ -156,16 +182,20 @@ func NewClusterSystem(cfg ClusterConfig) (*ClusterSystem, error) {
 			}
 			sys, err := New(nodeCfg)
 			if err != nil {
+				cs.Close()
 				return nil, fmt.Errorf("qbism: cluster node s%dr%d: %w", sh, r, err)
 			}
 			cs.addNode(sh, sys)
 			tr := sys.Transport
 			if cfg.NodeDial != nil {
 				if tr, err = cfg.NodeDial(sh, r, sys); err != nil {
+					cs.Close()
 					return nil, fmt.Errorf("qbism: dialing node s%dr%d: %w", sh, r, err)
 				}
 			}
-			nodes = append(nodes, &transportNode{name: nodeName(sh, r), t: tr})
+			tn := &transportNode{name: nodeName(sh, r), t: tr}
+			cs.tnodes = append(cs.tnodes, tn)
+			nodes = append(nodes, tn)
 		}
 		shardNodes = append(shardNodes, nodes)
 	}
@@ -190,6 +220,7 @@ func NewClusterSystem(cfg ClusterConfig) (*ClusterSystem, error) {
 		Metrics:     cs.Metrics,
 	}, shardNodes)
 	if err != nil {
+		cs.Close()
 		return nil, err
 	}
 	cs.Cluster = cl
@@ -253,6 +284,17 @@ type transportNode struct {
 }
 
 func (n *transportNode) Name() string { return n.name }
+
+// Close releases the node's transport. The sim flavors make this a
+// no-op; a dialed TCP transport drops its socket.
+func (n *transportNode) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.t == nil {
+		return nil
+	}
+	return n.t.Close()
+}
 
 // Call dials the node's transport once and validates the response
 // frame, so a reply corrupted in flight surfaces here as a typed

@@ -262,6 +262,7 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.Checksums {
 		if cerr := mgr.EnableChecksums(); cerr != nil {
+			mgr.Close()
 			return nil, cerr
 		}
 	}
@@ -281,15 +282,19 @@ func New(cfg Config) (*System, error) {
 	}
 	s.DB.SetPushdown(!cfg.DisablePushdown)
 	if err := s.createSchema(); err != nil {
+		s.Close()
 		return nil, err
 	}
 	if err := s.loadAtlas(); err != nil {
+		s.Close()
 		return nil, err
 	}
 	if err := s.loadStudies(); err != nil {
+		s.Close()
 		return nil, err
 	}
 	if err := s.registerSpatialUDFs(); err != nil {
+		s.Close()
 		return nil, err
 	}
 	s.registerMedicalServer()
@@ -328,6 +333,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.Dial != nil {
 		tr, err := cfg.Dial(s)
 		if err != nil {
+			s.Close()
 			return nil, fmt.Errorf("qbism: dialing transport: %w", err)
 		}
 		s.Transport = tr
@@ -337,14 +343,21 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// Close releases the system's client transport. The simulated flavors
-// hold no external resources, but a TCP transport holds a live socket
-// — callers that dialed one should Close when done.
+// Close releases the system's client transport and its long-field
+// manager. The simulated flavors hold no external resources, but a TCP
+// transport holds a live socket and a file-backed LFM holds an open
+// device file — callers should Close when done.
 func (s *System) Close() error {
-	if s.Transport == nil {
-		return nil
+	var first error
+	if s.Transport != nil {
+		first = s.Transport.Close()
 	}
-	return s.Transport.Close()
+	if s.LFM != nil {
+		if cerr := s.LFM.Close(); cerr != nil && first == nil {
+			first = cerr
+		}
+	}
+	return first
 }
 
 // extractOpts returns the read-plan options the spatial UDFs use.
